@@ -1,0 +1,246 @@
+// Package nectar is a faithful reproduction, as a discrete-event-simulated
+// Go library, of the system described in "Protocol Implementation on the
+// Nectar Communication Processor" (Cooper, Steenkiste, Sansom, Zill;
+// SIGCOMM 1990): a high-speed LAN whose host interface is a programmable
+// communication processor (the CAB) running a flexible runtime system —
+// preemptive priority threads, zero-copy mailboxes, lightweight syncs, and
+// a shared-memory host interface — on which TCP/IP and Nectar-specific
+// transport protocols execute.
+//
+// The package provides the cluster builder: it assembles HUB crossbars,
+// fiber links, CABs, hosts and VME buses into a topology, boots the
+// runtime system and protocol stacks on every node, and computes source
+// routes. Everything runs in virtual time on a deterministic simulation
+// kernel, with every hardware constant calibrated from the paper (see
+// DESIGN.md); protocol code, headers, checksums and buffers are real.
+//
+// A minimal session:
+//
+//	cl := nectar.NewCluster(nil)          // default 1990 cost model
+//	a := cl.AddNode()                     // host+CAB pair on the HUB
+//	b := cl.AddNode()
+//	... create mailboxes, run host processes / CAB threads ...
+//	cl.Run()                              // drive the simulation
+package nectar
+
+import (
+	"fmt"
+
+	"nectar/internal/hw/cab"
+	"nectar/internal/hw/fiber"
+	"nectar/internal/hw/host"
+	"nectar/internal/hw/hub"
+	"nectar/internal/model"
+	"nectar/internal/nectarine"
+	"nectar/internal/proto/datalink"
+	"nectar/internal/proto/ip"
+	"nectar/internal/proto/nectar"
+	"nectar/internal/proto/tcp"
+	"nectar/internal/proto/udp"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/hostif"
+	"nectar/internal/rt/mailbox"
+	"nectar/internal/rt/syncs"
+	"nectar/internal/sim"
+	"nectar/internal/sockets"
+)
+
+// Node is one host/CAB pair with its booted runtime system and protocol
+// stacks.
+type Node struct {
+	ID   wire.NodeID
+	CAB  *cab.CAB
+	Host *host.Host
+	IF   *hostif.IF
+
+	Mailboxes *mailbox.Runtime
+	Syncs     *syncs.Pool
+	Datalink  *datalink.Layer
+
+	Transports *nectar.Transports // datagram, RMP, RRP
+	IP         *ip.Layer
+	UDP        *udp.Layer
+	TCP        *tcp.Layer
+
+	API     *nectarine.API // the application interface (paper §3.5)
+	Sockets *sockets.API   // the Berkeley-socket emulation (paper §5.2)
+
+	hubIdx int
+	port   int
+}
+
+// Config adjusts cluster construction.
+type Config struct {
+	Cost *model.CostModel // nil: model.Default1990()
+	// RxThreadMode selects the §3.1 ablation: protocol input processing
+	// in a high-priority thread instead of at interrupt time.
+	RxThreadMode bool
+	// HubPorts is the crossbar size (default hub.DefaultPorts).
+	HubPorts int
+}
+
+// Cluster is a simulated Nectar installation.
+type Cluster struct {
+	K    *sim.Kernel
+	Cost *model.CostModel
+	Hubs []*hub.Hub
+
+	Nodes []*Node
+
+	cfg      Config
+	hubLinks []hubLink
+	nextPort []int // per hub
+}
+
+type hubLink struct{ fromHub, fromPort, toHub, toPort int }
+
+// NewCluster creates a cluster with one HUB and the given configuration
+// (pass nil for defaults).
+func NewCluster(cfg *Config) *Cluster {
+	c := Config{}
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.Cost == nil {
+		c.Cost = model.Default1990()
+	}
+	if c.HubPorts == 0 {
+		c.HubPorts = hub.DefaultPorts
+	}
+	cl := &Cluster{K: sim.NewKernel(), Cost: c.Cost, cfg: c}
+	cl.AddHub()
+	return cl
+}
+
+// AddHub adds a crossbar to the installation and returns its index.
+func (cl *Cluster) AddHub() int {
+	h := hub.New(cl.K, cl.Cost, fmt.Sprintf("hub%d", len(cl.Hubs)), cl.cfg.HubPorts)
+	cl.Hubs = append(cl.Hubs, h)
+	cl.nextPort = append(cl.nextPort, 0)
+	return len(cl.Hubs) - 1
+}
+
+// ConnectHubs joins two HUBs with a fiber pair, consuming one port on
+// each (large Nectar systems are built this way, paper §2.1).
+func (cl *Cluster) ConnectHubs(a, b int) {
+	pa := cl.allocPort(a)
+	pb := cl.allocPort(b)
+	cl.Hubs[a].ConnectOut(pa, fiber.NewLink(cl.K, cl.Cost,
+		fmt.Sprintf("hub%d.%d->hub%d", a, pa, b), cl.Hubs[b].InPort(pb)))
+	cl.Hubs[b].ConnectOut(pb, fiber.NewLink(cl.K, cl.Cost,
+		fmt.Sprintf("hub%d.%d->hub%d", b, pb, a), cl.Hubs[a].InPort(pa)))
+	cl.hubLinks = append(cl.hubLinks, hubLink{a, pa, b, pb}, hubLink{b, pb, a, pa})
+	cl.recomputeRoutes()
+}
+
+func (cl *Cluster) allocPort(hubIdx int) int {
+	p := cl.nextPort[hubIdx]
+	if p >= cl.Hubs[hubIdx].Ports() {
+		panic(fmt.Sprintf("nectar: hub %d out of ports", hubIdx))
+	}
+	cl.nextPort[hubIdx]++
+	return p
+}
+
+// AddNode attaches a new host/CAB pair to HUB 0.
+func (cl *Cluster) AddNode() *Node { return cl.AddNodeAt(0) }
+
+// AddNodeAt attaches a new host/CAB pair to the given HUB and boots its
+// runtime system and protocol stacks.
+func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
+	id := wire.NodeID(len(cl.Nodes) + 1)
+	port := cl.allocPort(hubIdx)
+
+	c := cab.New(cl.K, cl.Cost, id)
+	if cl.cfg.RxThreadMode {
+		c.SetRxInterruptMode(false)
+	}
+	h := host.New(cl.K, cl.Cost, fmt.Sprintf("host%d", id), c)
+	f := hostif.New(h, c)
+
+	// Fibers: CAB -> hub input port, hub output port -> CAB.
+	hb := cl.Hubs[hubIdx]
+	c.ConnectFiber(fiber.NewLink(cl.K, cl.Cost, fmt.Sprintf("cab%d->hub%d", id, hubIdx), hb.InPort(port)))
+	hb.ConnectOut(port, fiber.NewLink(cl.K, cl.Cost, fmt.Sprintf("hub%d.%d->cab%d", hubIdx, port, id), c))
+
+	// Runtime system.
+	mrt := mailbox.NewRuntime(c)
+	mrt.AttachHost(f)
+	pool := syncs.NewPool(f)
+	dl := datalink.NewLayer(c, mrt)
+
+	n := &Node{
+		ID: id, CAB: c, Host: h, IF: f,
+		Mailboxes: mrt, Syncs: pool, Datalink: dl,
+		hubIdx: hubIdx, port: port,
+	}
+
+	// Protocol stacks.
+	n.Transports = nectar.Attach(dl, mrt, pool)
+	n.IP = ip.NewLayer(dl, mrt)
+	n.UDP = udp.NewLayer(n.IP, mrt)
+	n.TCP = tcp.NewLayer(n.IP, mrt)
+	n.API = nectarine.New(n.Mailboxes, n.Syncs, n.Transports, n.Host)
+	n.Sockets = sockets.New(n.TCP, n.Mailboxes, n.IF, n.Syncs)
+
+	cl.Nodes = append(cl.Nodes, n)
+	cl.recomputeRoutes()
+	return n
+}
+
+// recomputeRoutes rebuilds every CAB's source-route table: BFS over the
+// HUB graph, then the destination CAB's attachment port.
+func (cl *Cluster) recomputeRoutes() {
+	for _, src := range cl.Nodes {
+		for _, dst := range cl.Nodes {
+			// src == dst is loopback: the crossbar routes the frame
+			// straight back down the sender's own port, so node-local
+			// transport traffic needs no special casing in software.
+			if route, ok := cl.route(src.hubIdx, dst.hubIdx, dst.port); ok {
+				src.CAB.SetRoute(dst.ID, route)
+			}
+		}
+	}
+}
+
+// route returns the port bytes from HUB `from` to node attached at
+// (hub `to`, port finalPort).
+func (cl *Cluster) route(from, to, finalPort int) ([]byte, bool) {
+	if from == to {
+		return []byte{byte(finalPort)}, true
+	}
+	// BFS over hub links.
+	type hop struct {
+		hub  int
+		path []byte
+	}
+	visited := make([]bool, len(cl.Hubs))
+	visited[from] = true
+	queue := []hop{{from, nil}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range cl.hubLinks {
+			if l.fromHub != cur.hub || visited[l.toHub] {
+				continue
+			}
+			path := append(append([]byte(nil), cur.path...), byte(l.fromPort))
+			if l.toHub == to {
+				return append(path, byte(finalPort)), true
+			}
+			visited[l.toHub] = true
+			queue = append(queue, hop{l.toHub, path})
+		}
+	}
+	return nil, false
+}
+
+// Run drives the simulation until no events remain. It fails on deadlock
+// or a model panic. Clusters with server threads never drain; use RunFor.
+func (cl *Cluster) Run() error { return cl.K.Run() }
+
+// RunFor drives the simulation for d of virtual time.
+func (cl *Cluster) RunFor(d sim.Duration) error { return cl.K.RunFor(d) }
+
+// Now returns the current virtual time.
+func (cl *Cluster) Now() sim.Time { return cl.K.Now() }

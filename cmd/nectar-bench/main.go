@@ -1,0 +1,127 @@
+// Command nectar-bench regenerates the paper's evaluation: every table
+// and figure of "Protocol Implementation on the Nectar Communication
+// Processor" (SIGCOMM 1990), the micro-measurements quoted in the text,
+// and the ablations the paper proposes.
+//
+// Usage:
+//
+//	nectar-bench [experiment ...]
+//
+// Experiments: table1, fig6, fig7, fig8, netdev, micro, ablate-ipmode,
+// ablate-upcall, ablate-switching, ablate-rmpwindow, mailbox-impl,
+// all (default).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nectar/internal/bench"
+	"nectar/internal/model"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	cost := model.Default1990()
+	exit := 0
+	for _, a := range args {
+		if err := run(a, cost); err != nil {
+			fmt.Fprintf(os.Stderr, "nectar-bench %s: %v\n", a, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func run(name string, cost *model.CostModel) error {
+	switch name {
+	case "all":
+		for _, n := range []string{"table1", "fig6", "fig7", "fig8", "netdev", "micro",
+			"ablate-ipmode", "ablate-upcall", "ablate-switching", "ablate-rmpwindow", "ablate-appload", "mailbox-impl"} {
+			if err := run(n, cost); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "table1":
+		r, err := bench.Table1(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "fig6":
+		r, err := bench.Fig6(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "fig7":
+		curves, err := bench.Fig7(cost, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatCurves("Figure 7: CAB-to-CAB throughput vs message size", curves))
+		fmt.Println("paper anchors: RMP -> 90 Mbit/s at 8KB; doubling region <= 256B; TCP gap ~= checksum cost")
+	case "fig8":
+		curves, err := bench.Fig8(cost, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatCurves("Figure 8: host-to-host throughput vs message size", curves))
+		fmt.Println("paper anchors: VME-limited ~30 Mbit/s bus; TCP ~24, RMP ~28; flattens earlier than Fig 7")
+	case "netdev":
+		r, err := bench.Netdev(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "micro":
+		r, err := bench.Micro(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "ablate-ipmode":
+		r, err := bench.AblateIPMode(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "ablate-upcall":
+		r, err := bench.AblateUpcall(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "ablate-switching":
+		r, err := bench.AblateSwitching(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "ablate-rmpwindow":
+		r, err := bench.AblateRMPWindow(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "ablate-appload":
+		r, err := bench.AblateAppLoad(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "mailbox-impl":
+		r, err := bench.AblateMailboxImpl(cost)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command nectar-trace runs a single exchange with the instrumentation
+// tracer installed and prints the annotated virtual-time timeline — the
+// raw material behind the paper's Figure 6 breakdown, for any of the
+// Nectar transports.
+//
+// Usage:
+//
+//	nectar-trace [-proto datagram|rmp|rrp] [-size N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nectar"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+func main() {
+	proto := flag.String("proto", "datagram", "transport to trace: datagram | rmp | rrp")
+	size := flag.Int("size", 4, "message size in bytes")
+	flag.Parse()
+
+	cl := nectar.NewCluster(nil)
+	a := cl.AddNode()
+	b := cl.AddNode()
+
+	type mark struct {
+		at   sim.Time
+		name string
+	}
+	var marks []mark
+	tracing := false
+	cl.K.SetTracer(func(name string, at sim.Time) {
+		if tracing {
+			marks = append(marks, mark{at, name})
+		}
+	})
+
+	sink := b.Mailboxes.Create("trace.sink")
+	service := b.Mailboxes.Create("trace.service")
+	addrSink := wire.MailboxAddr{Node: b.ID, Box: sink.ID()}
+	addrSvc := wire.MailboxAddr{Node: b.ID, Box: service.ID()}
+	payload := make([]byte, *size)
+
+	rxDone := false
+	var end sim.Time
+	if *proto == "rrp" {
+		rxDone = true // the sender observes completion itself
+		b.CAB.Sched.Fork("server", threads.SystemPriority, func(t *threads.Thread) {
+			ctx := exec.OnCAB(t)
+			m := service.BeginGet(ctx)
+			b.Transports.RRP.Reply(ctx, m, payload)
+			service.EndGet(ctx, m)
+		})
+	} else {
+		b.Host.Run("receiver", func(t *threads.Thread) {
+			ctx := exec.OnHost(t, b.Host)
+			m := sink.BeginGetPoll(ctx)
+			sink.EndGet(ctx, m)
+			end = t.Now()
+			rxDone = true
+		})
+	}
+
+	done := false
+	var start sim.Time
+	a.Host.Run("sender", func(t *threads.Thread) {
+		ctx := exec.OnHost(t, a.Host)
+		t.Sleep(5 * sim.Millisecond) // boot transient
+		tracing = true
+		start = t.Now()
+		switch *proto {
+		case "datagram":
+			a.Transports.Datagram.Send(ctx, addrSink, 0, payload, nil)
+		case "rmp":
+			st := a.Syncs.Alloc(ctx)
+			a.Transports.RMP.Send(ctx, addrSink, 0, payload, st)
+			st.Read(ctx)
+		case "rrp":
+			st := a.Syncs.Alloc(ctx)
+			replyBox := a.Mailboxes.Create("trace.reply")
+			a.Transports.RRP.Call(ctx, addrSvc, payload, replyBox, st)
+			st.Read(ctx)
+			m := replyBox.BeginGetPoll(ctx)
+			replyBox.EndGet(ctx, m)
+		default:
+			log.Fatalf("unknown -proto %q", *proto)
+		}
+		if t.Now() > end {
+			end = t.Now()
+		}
+		done = true
+	})
+
+	for !done || !rxDone {
+		if err := cl.RunFor(10 * sim.Millisecond); err != nil {
+			log.Fatal(err)
+		}
+		if cl.Now() > sim.Time(5*sim.Second) {
+			log.Fatal("exchange did not complete")
+		}
+	}
+
+	fmt.Printf("trace: %s, %d bytes, node %d -> node %d\n\n", *proto, *size, a.ID, b.ID)
+	fmt.Printf("%12s  %10s  %s\n", "t (us)", "delta", "event")
+	prev := start
+	for _, m := range marks {
+		if m.at > end {
+			break
+		}
+		fmt.Printf("%12.3f  %+9.3f  %s\n",
+			float64(m.at-start)/1e3, float64(m.at-prev)/1e3, m.name)
+		prev = m.at
+	}
+	fmt.Printf("\nend-to-end completion: %v\n", sim.Duration(end-start))
+}

@@ -1,0 +1,212 @@
+// Network-shared-memory example: the paper's §5.3 research bullet — "the
+// CABs will run external pager tasks that cooperate to provide the
+// required consistency guarantees". A home node's CAB serves pages; each
+// worker node's CAB runs a pager task that caches pages locally and
+// drops them on invalidation, so host applications see coherent shared
+// pages while every consistency message is handled by the communication
+// processors.
+//
+// Run with: go run ./examples/netshm
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"nectar"
+	"nectar/internal/nectarine"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/mailbox"
+	"nectar/internal/sim"
+)
+
+const (
+	pageSize = 256
+	nPages   = 4
+)
+
+// Pager protocol opcodes (requests to the home pager over RRP).
+const (
+	opGet      = 'G' // page -> version(4) data(pageSize)
+	opPut      = 'P' // page, data -> ack (and invalidations to readers)
+	opRegister = 'R' // page, node, boxID -> ack (invalidation address)
+)
+
+func main() {
+	cl := nectar.NewCluster(nil)
+	home := cl.AddNode()
+	pagerSvc := home.Mailboxes.Create("shm.pager")
+
+	// The home pager: owns the pages, tracks readers, invalidates on
+	// write. Runs entirely on the home node's CAB.
+	home.API.RunOnCAB("home-pager", func(ep *nectarine.Endpoint) {
+		type page struct {
+			version uint32
+			data    [pageSize]byte
+		}
+		var pages [nPages]page
+		readers := map[int][]struct {
+			node uint16
+			box  uint16
+		}{}
+		for {
+			ep.Serve(pagerSvc, func(req []byte) []byte {
+				op, pg := req[0], int(req[1])
+				switch op {
+				case opRegister:
+					readers[pg] = append(readers[pg], struct {
+						node uint16
+						box  uint16
+					}{binary.BigEndian.Uint16(req[2:]), binary.BigEndian.Uint16(req[4:])})
+					return []byte{1}
+				case opGet:
+					out := make([]byte, 4+pageSize)
+					binary.BigEndian.PutUint32(out, pages[pg].version)
+					copy(out[4:], pages[pg].data[:])
+					return out
+				case opPut:
+					pages[pg].version++
+					copy(pages[pg].data[:], req[2:2+pageSize])
+					// Invalidate every registered reader's cached copy.
+					for _, r := range readers[pg] {
+						a := wire.MailboxAddr{Node: wire.NodeID(r.node), Box: wire.MailboxID(r.box)}
+						ep.SendDatagram(a, []byte{byte(pg)})
+					}
+					return []byte{1}
+				}
+				return []byte{0}
+			})
+		}
+	})
+
+	// Worker nodes: a CAB-resident pager caches pages; the host
+	// application reads/writes through it via a local service mailbox.
+	type worker struct {
+		node  *nectar.Node
+		local *mailbox.Mailbox // host <-> local pager requests
+	}
+	var workers []worker
+	for w := 0; w < 2; w++ {
+		n := cl.AddNode()
+		local := n.Mailboxes.Create(fmt.Sprintf("shm.local%d", w))
+		inval := n.Mailboxes.Create(fmt.Sprintf("shm.inval%d", w))
+		workers = append(workers, worker{n, local})
+		n.API.RunOnCAB(fmt.Sprintf("pager%d", w), func(ep *nectarine.Endpoint) {
+			replyBox := ep.NewMailbox("shm.pagerreply")
+			var cached [nPages]struct {
+				valid bool
+				data  [pageSize]byte
+			}
+			hits, misses := 0, 0
+			// Register for invalidations on all pages.
+			for pg := 0; pg < nPages; pg++ {
+				req := []byte{opRegister, byte(pg), 0, 0, 0, 0}
+				binary.BigEndian.PutUint16(req[2:], uint16(n.ID))
+				binary.BigEndian.PutUint16(req[4:], uint16(inval.ID()))
+				if _, err := ep.Call(pagerSvc.Addr(), req, replyBox); err != nil {
+					log.Fatal(err)
+				}
+			}
+			_ = hits
+			_ = misses
+			for {
+				// Serve the host application.
+				ep.Serve(local, func(req []byte) []byte {
+					// Apply pending invalidations first.
+					for {
+						m := invalTryGet(ep, inval)
+						if m == nil {
+							break
+						}
+						cached[m[0]].valid = false
+					}
+					op, pg := req[0], int(req[1])
+					switch op {
+					case opGet:
+						if !cached[pg].valid {
+							out, err := ep.Call(pagerSvc.Addr(), []byte{opGet, byte(pg)}, replyBox)
+							if err != nil {
+								log.Fatal(err)
+							}
+							copy(cached[pg].data[:], out[4:])
+							cached[pg].valid = true
+							misses++
+							return append([]byte{0}, cached[pg].data[:]...) // 0 = miss
+						}
+						hits++
+						return append([]byte{1}, cached[pg].data[:]...) // 1 = hit
+					case opPut:
+						msg := append([]byte{opPut, byte(pg)}, req[2:2+pageSize]...)
+						if _, err := ep.Call(pagerSvc.Addr(), msg, replyBox); err != nil {
+							log.Fatal(err)
+						}
+						cached[pg].valid = false // write-through, invalidate own copy
+						return []byte{1}
+					}
+					return []byte{0}
+				})
+			}
+		})
+	}
+
+	// Host applications: A writes pages, B reads them, observing
+	// coherence through the CAB pagers.
+	done := false
+	workers[1].node.API.RunOnHost("readerB", func(ep *nectarine.Endpoint) {
+		replyBox := ep.NewMailbox("appB.reply")
+		read := func(pg byte) (hit bool, first byte) {
+			out, err := ep.Call(workers[1].local.Addr(), []byte{opGet, pg}, replyBox)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return out[0] == 1, out[1]
+		}
+		ep.Thread().Sleep(10 * sim.Millisecond) // let A write first
+		hit, v := read(0)
+		fmt.Printf("B: read page0 = %q (hit=%v)\n", v, hit)
+		hit, v = read(0)
+		fmt.Printf("B: read page0 = %q (hit=%v)  <- served from CAB cache\n", v, hit)
+		ep.Thread().Sleep(20 * sim.Millisecond) // A overwrites, invalidation flows
+		hit, v = read(0)
+		fmt.Printf("B: read page0 = %q (hit=%v)  <- invalidated, refetched\n", v, hit)
+		done = true
+	})
+	workers[0].node.API.RunOnHost("writerA", func(ep *nectarine.Endpoint) {
+		replyBox := ep.NewMailbox("appA.reply")
+		write := func(pg byte, val byte) {
+			data := make([]byte, pageSize)
+			data[0] = val
+			if _, err := ep.Call(workers[0].local.Addr(), append([]byte{opPut, pg}, data...), replyBox); err != nil {
+				log.Fatal(err)
+			}
+		}
+		write(0, 'x')
+		fmt.Println("A: wrote page0 = 'x'")
+		ep.Thread().Sleep(20 * sim.Millisecond)
+		write(0, 'y')
+		fmt.Println("A: wrote page0 = 'y' (readers invalidated)")
+	})
+
+	for !done {
+		if err := cl.RunFor(20 * sim.Millisecond); err != nil {
+			log.Fatal(err)
+		}
+		if cl.Now() > sim.Time(10*sim.Second) {
+			log.Fatal("shared-memory session stalled")
+		}
+	}
+	fmt.Println("\ncoherence held: stale page was invalidated by the CAB pagers,")
+	fmt.Println("with the hosts never handling a consistency message")
+}
+
+func invalTryGet(ep *nectarine.Endpoint, box *mailbox.Mailbox) []byte {
+	m := box.BeginGetNB(ep.Ctx())
+	if m == nil {
+		return nil
+	}
+	out := make([]byte, m.Len())
+	m.Read(ep.Ctx(), 0, out)
+	box.EndGet(ep.Ctx(), m)
+	return out
+}

@@ -1,0 +1,3 @@
+module nectar
+
+go 1.22

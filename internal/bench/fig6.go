@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"nectar/internal/model"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+// Fig6Stage is one segment of the one-way latency breakdown.
+type Fig6Stage struct {
+	Name string
+	US   float64
+}
+
+// Fig6Result reproduces the paper's Figure 6: the component breakdown of
+// a one-way host-to-host datagram (paper total: 163 µs, split roughly
+// 40 % host-CAB interface, 40 % CAB-to-CAB, 20 % host message handling).
+type Fig6Result struct {
+	TotalUS float64
+	Stages  []Fig6Stage
+	// Bucket percentages per the paper's attribution.
+	HostPct      float64 // host creating and reading the message
+	InterfacePct float64 // host-CAB interface (both sides)
+	CABPct       float64 // CAB-to-CAB (protocol processing + wire)
+}
+
+// Fig6 sends one 4-byte datagram host-to-host with the tracer installed
+// and attributes every microsecond of the one-way path.
+func Fig6(cost *model.CostModel) (*Fig6Result, error) {
+	if cost == nil {
+		cost = model.Default1990()
+	}
+	cl, a, b := newCluster(cost, false)
+	marks := map[string]sim.Time{}
+	cl.K.SetTracer(func(name string, at sim.Time) {
+		if _, seen := marks[name]; !seen {
+			marks[name] = at // keep the first occurrence of each stage
+		}
+	})
+
+	boxB := b.Mailboxes.Create("sink")
+	addrB := wire.MailboxAddr{Node: b.ID, Box: boxB.ID()}
+	done := false
+	var tStart, tCreateDone, tRxBegin, tReadDone, tRxDone sim.Time
+
+	a.Host.Run("sender", func(t *threads.Thread) {
+		ctx := exec.OnHost(t, a.Host)
+		// Let the runtime boot (protocol threads park) before measuring.
+		t.Sleep(5 * sim.Millisecond)
+		tStart = t.Now()
+		// The paper's "host creating the message": build the message
+		// content, then hand it to the datagram protocol (the two-phase
+		// put into mapped CAB memory is host-CAB interface time).
+		t.Compute(cost.HostMessageCreate)
+		tCreateDone = t.Now()
+		a.Transports.Datagram.Send(ctx, addrB, 0, []byte{1, 2, 3, 4}, nil)
+	})
+	b.Host.Run("receiver", func(t *threads.Thread) {
+		ctx := exec.OnHost(t, b.Host)
+		m := boxB.BeginGetPoll(ctx)
+		tRxBegin = t.Now()
+		var buf [4]byte
+		m.Read(ctx, 0, buf[:])
+		t.Compute(cost.HostMessageRead)
+		tReadDone = t.Now()
+		boxB.EndGet(ctx, m)
+		tRxDone = t.Now()
+		done = true
+	})
+	if err := drive(cl, &done); err != nil {
+		return nil, err
+	}
+
+	post := fmt.Sprintf("hostif.post.%d", a.ID)
+	isr := fmt.Sprintf("hostif.cabisr.%d", a.ID)
+	req := fmt.Sprintf("datagram.req.%d", a.ID)
+	dltx := fmt.Sprintf("dl.tx.%d", a.ID)
+	arrive := fmt.Sprintf("cab.rx.arrive.%d", b.ID)
+	dlrx := fmt.Sprintf("dl.rx.%d", b.ID)
+	deliver := fmt.Sprintf("datagram.deliver.%d", b.ID)
+	signal := fmt.Sprintf("hostcond.signal.%d", b.ID)
+	need := []string{post, isr, req, dltx, arrive, dlrx, deliver, signal}
+	for _, n := range need {
+		if _, ok := marks[n]; !ok {
+			return nil, fmt.Errorf("fig6: missing trace mark %q", n)
+		}
+	}
+	us := func(from, to sim.Time) float64 { return sim.Duration(to - from).Micros() }
+
+	stages := []Fig6Stage{
+		{"host: create message", us(tStart, tCreateDone)},
+		{"host: begin_put/write/end_put", us(tCreateDone, marks[post])},
+		{"host->CAB: doorbell + CAB ISR", us(marks[post], marks[isr])},
+		{"CAB1: wake datagram thread", us(marks[isr], marks[req])},
+		{"CAB1: transport + datalink out", us(marks[req], marks[dltx])},
+		{"wire: fiber + HUB", us(marks[dltx], marks[arrive])},
+		{"CAB2: start-of-packet + datalink", us(marks[arrive], marks[dlrx])},
+		{"CAB2: DMA + transport deliver", us(marks[dlrx], marks[deliver])},
+		{"CAB2->host: signal + poll + begin_get", us(marks[deliver], tRxBegin)},
+		{"host: read message", us(tRxBegin, tReadDone)},
+		{"host: end_get", us(tReadDone, tRxDone)},
+	}
+	res := &Fig6Result{TotalUS: us(tStart, tRxDone), Stages: stages}
+
+	// The paper's three buckets: message handling on the hosts; the
+	// host-CAB interface on both sides (mailbox ops over the VME bus,
+	// doorbells, thread wakeup, polling); CAB-to-CAB (protocol
+	// processing, DMA, fiber, HUB).
+	host := stages[0].US + stages[9].US
+	iface := stages[1].US + stages[2].US + stages[3].US + stages[8].US + stages[10].US
+	cab := stages[4].US + stages[5].US + stages[6].US + stages[7].US
+	res.HostPct = 100 * host / res.TotalUS
+	res.InterfacePct = 100 * iface / res.TotalUS
+	res.CABPct = 100 * cab / res.TotalUS
+	return res, nil
+}
+
+// Format renders the breakdown with the paper anchors.
+func (r *Fig6Result) Format() string {
+	out := "Figure 6: one-way host-to-host datagram latency breakdown\n"
+	for _, s := range r.Stages {
+		out += fmt.Sprintf("  %-36s %7.1f us\n", s.Name, s.US)
+	}
+	out += fmt.Sprintf("  %-36s %7.1f us\n", "TOTAL", r.TotalUS)
+	out += fmt.Sprintf("  buckets: host %.0f%%, host-CAB interface %.0f%%, CAB-to-CAB %.0f%%\n",
+		r.HostPct, r.InterfacePct, r.CABPct)
+	out += "paper anchors: total 163 us; ~20% host / ~40% interface / ~40% CAB-to-CAB\n"
+	return out
+}

@@ -1,0 +1,261 @@
+// Package cab models the CAB (Communication Accelerator Board, paper §2.2):
+// a general-purpose CPU (modeled by a threads.Sched), split program/data
+// memory with page-grained protection, FIFOs to the fiber pair, hardware
+// CRC, a DMA controller, and a VME interface to the host.
+//
+// The package is the hardware/software boundary: protocol software (the
+// datalink layer and everything above it) drives the board through
+// Transmit, StartRxDMA and the interrupt vectors, and the board calls back
+// into registered handlers in interrupt context, exactly as the paper's
+// runtime system is driven by start-of-packet and end-of-data events.
+package cab
+
+import (
+	"fmt"
+
+	"nectar/internal/hw/fiber"
+	"nectar/internal/hw/mem"
+	"nectar/internal/model"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+// RxDesc describes a frame being received. It is handed to the registered
+// receive handler when the datalink header has arrived in the input FIFO;
+// the payload may still be streaming in (End is when the last byte lands).
+type RxDesc struct {
+	Frame []byte   // full frame: datalink header + payload + CRC trailer
+	End   sim.Time // arrival time of the last byte
+	cab   *CAB
+}
+
+// CRCOK reports whether the hardware CRC over the frame verifies. The
+// result is physically known only at End; callers check it from the
+// end-of-data path.
+func (d *RxDesc) CRCOK() bool {
+	f := d.Frame
+	if len(f) < wire.CRCLen {
+		return false
+	}
+	body, trailer := f[:len(f)-wire.CRCLen], f[len(f)-wire.CRCLen:]
+	want := uint32(trailer[0])<<24 | uint32(trailer[1])<<16 | uint32(trailer[2])<<8 | uint32(trailer[3])
+	return wire.CRC32(body) == want
+}
+
+// Payload returns the frame body between the datalink header and the CRC
+// trailer.
+func (d *RxDesc) Payload() []byte {
+	return d.Frame[wire.DatalinkHeaderLen : len(d.Frame)-wire.CRCLen]
+}
+
+// CAB is one communication processor board.
+type CAB struct {
+	node  wire.NodeID
+	k     *sim.Kernel
+	cost  *model.CostModel
+	Sched *threads.Sched // the CAB CPU
+
+	Data *mem.Region     // 1 MB data memory (DMA-capable)
+	Heap *mem.Heap       // buffer heap over data memory (mailbox storage)
+	Prot *mem.Protection // protection domains
+
+	out    *fiber.Link // to the HUB
+	routes map[wire.NodeID][]byte
+
+	rxHandler   func(t *threads.Thread, d *RxDesc) // start-of-packet, interrupt context
+	hostVector  func(t *threads.Thread)            // doorbell from host, interrupt context
+	toHost      func()                             // raises the host's CAB interrupt
+	rxInterrupt bool                               // deliver rx as interrupt (true) or via polling thread (ablation A1)
+
+	txFrames, rxFrames uint64
+	crcErrors          uint64
+}
+
+// New creates a CAB for the given node with default memory geometry.
+func New(k *sim.Kernel, cost *model.CostModel, node wire.NodeID) *CAB {
+	data := mem.NewRegion(fmt.Sprintf("cab%d.data", node), mem.DefaultDataSize)
+	c := &CAB{
+		node:   node,
+		k:      k,
+		cost:   cost,
+		Sched:  threads.New(k, cost, fmt.Sprintf("cab%d", node)),
+		Data:   data,
+		Heap:   mem.NewHeap(data, 0, data.Size()),
+		Prot:   mem.NewProtection(data, 8),
+		routes: make(map[wire.NodeID][]byte),
+	}
+	c.rxInterrupt = true
+	return c
+}
+
+// Node returns the CAB's node ID.
+func (c *CAB) Node() wire.NodeID { return c.node }
+
+// Kernel returns the simulation kernel.
+func (c *CAB) Kernel() *sim.Kernel { return c.k }
+
+// Cost returns the cost model.
+func (c *CAB) Cost() *model.CostModel { return c.cost }
+
+// ConnectFiber attaches the outgoing fiber (to a HUB input port).
+func (c *CAB) ConnectFiber(out *fiber.Link) { c.out = out }
+
+// OutLink returns the outgoing fiber (tests use it for fault injection).
+func (c *CAB) OutLink() *fiber.Link { return c.out }
+
+// SetRoute installs the source route (HUB output-port bytes) to reach dst.
+func (c *CAB) SetRoute(dst wire.NodeID, route []byte) {
+	c.routes[dst] = append([]byte(nil), route...)
+}
+
+// Route returns the source route to dst.
+func (c *CAB) Route(dst wire.NodeID) ([]byte, bool) {
+	r, ok := c.routes[dst]
+	return r, ok
+}
+
+// OnReceive registers the datalink receive handler, invoked in interrupt
+// context when a frame's header has arrived (start-of-packet interrupt).
+func (c *CAB) OnReceive(fn func(t *threads.Thread, d *RxDesc)) { c.rxHandler = fn }
+
+// OnHostDoorbell registers the handler for the host-to-CAB interrupt
+// (paper §3.2: the host places a request in the CAB signal queue and
+// interrupts the CAB).
+func (c *CAB) OnHostDoorbell(fn func(t *threads.Thread)) { c.hostVector = fn }
+
+// SetHostInterrupt wires the CAB-to-host interrupt line (installed by the
+// host board during cluster construction).
+func (c *CAB) SetHostInterrupt(fn func()) { c.toHost = fn }
+
+// RingFromHost raises the CAB's doorbell interrupt. Called from a host
+// process context after it has posted a request to the CAB signal queue.
+func (c *CAB) RingFromHost() {
+	if c.hostVector == nil {
+		c.k.Fatalf("cab%d: doorbell with no handler registered", c.node)
+		return
+	}
+	c.Sched.RaiseInterrupt("host-doorbell", c.hostVector)
+}
+
+// InterruptHost raises the host's CAB interrupt (paper Figure 4: the CAB
+// places an entry in the host signal queue and interrupts the host).
+func (c *CAB) InterruptHost() {
+	if c.toHost == nil {
+		c.k.Fatalf("cab%d: host interrupt with no line wired", c.node)
+		return
+	}
+	c.toHost()
+}
+
+// SetRxInterruptMode selects whether arriving frames raise an interrupt
+// (the paper's production configuration) or are handed to a polling
+// high-priority thread via the rxQueue (the §3.1 ablation). The datalink
+// layer consumes this flag.
+func (c *CAB) SetRxInterruptMode(on bool) { c.rxInterrupt = on }
+
+// RxInterruptMode reports the current delivery mode.
+func (c *CAB) RxInterruptMode() bool { return c.rxInterrupt }
+
+// Transmit builds a frame around the given datalink header template and
+// payload spans, appends the hardware CRC, and starts the output DMA. The
+// caller (datalink software) has already charged the CPU costs; the
+// transfer itself proceeds in parallel with the CPU.
+//
+// The payload spans are gathered by the DMA engine, so a transport can
+// transmit a header template from one buffer and user data from a mailbox
+// buffer without any CPU copy (paper §4.1's gather-style IP_Output).
+func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, payload ...[]byte) error {
+	if c.out == nil {
+		return fmt.Errorf("cab%d: no fiber connected", c.node)
+	}
+	route, ok := c.routes[dst]
+	if !ok {
+		return fmt.Errorf("cab%d: no route to node %d", c.node, dst)
+	}
+	n := 0
+	for _, p := range payload {
+		n += len(p)
+	}
+	if n > wire.MaxPayload {
+		return fmt.Errorf("cab%d: payload %d exceeds max %d", c.node, n, wire.MaxPayload)
+	}
+	hdr.Src = c.node
+	hdr.Dst = dst
+	hdr.Len = uint16(n)
+	frame := make([]byte, wire.DatalinkHeaderLen+n+wire.CRCLen)
+	hdr.Marshal(frame)
+	off := wire.DatalinkHeaderLen
+	for _, p := range payload {
+		off += copy(frame[off:], p)
+	}
+	crc := wire.CRC32(frame[:off])
+	frame[off] = byte(crc >> 24)
+	frame[off+1] = byte(crc >> 16)
+	frame[off+2] = byte(crc >> 8)
+	frame[off+3] = byte(crc)
+	c.txFrames++
+	c.out.Send(&fiber.Packet{Route: append([]byte(nil), route...), Frame: frame, Circuit: circuit})
+	return nil
+}
+
+// PacketArriving implements fiber.Endpoint: frames delivered to this CAB.
+// The start-of-packet interrupt is raised once the datalink header has
+// drained into the input FIFO (paper §3.1: it "must be handled within a
+// few tens of microseconds").
+func (c *CAB) PacketArriving(pkt *fiber.Packet, end sim.Time) {
+	c.k.Markf("cab.rx.arrive.%d", c.node)
+	c.rxFrames++
+	desc := &RxDesc{Frame: pkt.Frame, End: end, cab: c}
+	headerAt := c.k.Now() + sim.Time(c.cost.FiberTime(1+wire.DatalinkHeaderLen))
+	if headerAt > end {
+		headerAt = end
+	}
+	c.k.At(headerAt, func() {
+		if c.rxHandler == nil {
+			c.k.Fatalf("cab%d: frame arrived with no receive handler", c.node)
+			return
+		}
+		if c.rxInterrupt {
+			c.Sched.RaiseInterrupt("start-of-packet", func(t *threads.Thread) {
+				c.rxHandler(t, desc)
+			})
+		} else {
+			// Polling-thread mode: the datalink package registered a
+			// handler that enqueues to its rx thread without an interrupt.
+			c.rxHandler(nil, desc)
+		}
+	})
+}
+
+// StartRxDMA arranges for the frame's payload to be placed in dst (a CAB
+// data-memory buffer) and calls done when the transfer is complete — i.e.
+// when the last byte has both arrived and drained from the FIFO. done runs
+// in kernel context at that instant; ok reports the hardware CRC check,
+// whose result accompanies the end-of-data event.
+//
+// The DMA controller handles low-level flow control itself: it waits for
+// data to arrive if the input FIFO is empty (paper §2.2), which is why
+// completion is simply max(now, End).
+func (c *CAB) StartRxDMA(d *RxDesc, dst []byte, done func(ok bool)) {
+	payload := d.Payload()
+	if len(dst) < len(payload) {
+		c.k.Fatalf("cab%d: rx DMA buffer %d < payload %d", c.node, len(dst), len(payload))
+		return
+	}
+	doneAt := d.End
+	if now := c.k.Now(); now > doneAt {
+		doneAt = now
+	}
+	c.k.At(doneAt, func() {
+		ok := d.CRCOK()
+		if !ok {
+			c.crcErrors++
+		}
+		copy(dst, payload)
+		done(ok)
+	})
+}
+
+// Stats returns (frames transmitted, frames received, CRC errors).
+func (c *CAB) Stats() (tx, rx, crcErr uint64) { return c.txFrames, c.rxFrames, c.crcErrors }

@@ -1,0 +1,152 @@
+// Package fiber models the Nectar fiber-optic links (paper §2.1): 100
+// Mbit/s unidirectional point-to-point fibers connecting CABs to HUB I/O
+// ports and HUBs to each other.
+//
+// Transmission is modeled at packet granularity with cut-through timing:
+// the receiver learns when the first byte arrives and when the last byte
+// will arrive, so downstream hardware (HUB forwarding, CAB start-of-packet
+// interrupts, DMA overlap) can act while the packet is still streaming in —
+// which is essential to reproducing the paper's latency breakdown (the
+// datalink layer's start-of-data upcall runs "while the remainder of the
+// packet is being received", §4.1).
+//
+// Links support fault injection (drop or corrupt the next N packets) so
+// tests can exercise the retransmission paths of RMP and TCP with real
+// CRC/checksum failures.
+package fiber
+
+import (
+	"fmt"
+
+	"nectar/internal/model"
+	"nectar/internal/sim"
+)
+
+// Packet is a frame in flight, together with its remaining source route.
+// Frame holds the datalink header, payload, and CRC trailer as real bytes;
+// the route prefix is represented structurally and costs one byte per
+// remaining hop on the wire.
+type Packet struct {
+	Route   []byte // remaining HUB output-port numbers; empty = deliverable
+	Frame   []byte // datalink header + payload + CRC trailer
+	Circuit bool   // riding a pre-established circuit (no per-hop setup)
+}
+
+// WireLen is the packet's current on-the-wire length: a route-length byte,
+// the remaining route bytes, and the frame.
+func (p *Packet) WireLen() int { return 1 + len(p.Route) + len(p.Frame) }
+
+// Endpoint consumes packets from a link: a HUB input port or a CAB's
+// receive interface.
+type Endpoint interface {
+	// PacketArriving is called at the virtual instant the packet's first
+	// byte arrives. end is when its last byte will have arrived, assuming
+	// the upstream keeps streaming at line rate.
+	PacketArriving(pkt *Packet, end sim.Time)
+}
+
+// Link is one unidirectional fiber. Packets serialize at the line rate;
+// if the fiber is busy, new packets queue behind it (modeling the sender's
+// output FIFO plus low-level flow control).
+type Link struct {
+	k    *sim.Kernel
+	cost *model.CostModel
+	name string
+	dst  Endpoint
+
+	freeAt sim.Time
+
+	// Fault injection.
+	dropNext    int
+	corruptNext int
+	faultFn     func(seq uint64) (drop, corrupt bool)
+
+	// Stats.
+	sent      uint64
+	dropped   uint64
+	corrupted uint64
+	bytes     uint64
+}
+
+// NewLink creates a fiber link delivering to dst.
+func NewLink(k *sim.Kernel, cost *model.CostModel, name string, dst Endpoint) *Link {
+	if dst == nil {
+		panic("fiber: link with nil destination")
+	}
+	return &Link{k: k, cost: cost, name: name, dst: dst}
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Send begins transmitting pkt at the current instant, or as soon as the
+// fiber is free. Callable from kernel or proc context.
+func (l *Link) Send(pkt *Packet) { l.SendAt(pkt, l.k.Now()) }
+
+// SendAt begins transmitting pkt no earlier than t (used by HUB cut-through
+// forwarding, where the first byte only becomes available after the setup
+// delay).
+func (l *Link) SendAt(pkt *Packet, t sim.Time) {
+	if t < l.k.Now() {
+		t = l.k.Now()
+	}
+	start := t
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	dur := l.cost.FiberTime(pkt.WireLen())
+	end := start + sim.Time(dur)
+	l.freeAt = end
+
+	drop, corrupt := false, false
+	if l.faultFn != nil {
+		drop, corrupt = l.faultFn(l.sent + l.dropped)
+	}
+	if l.dropNext > 0 || drop {
+		if l.dropNext > 0 {
+			l.dropNext--
+		}
+		l.dropped++
+		return
+	}
+	if l.corruptNext > 0 || corrupt {
+		if l.corruptNext > 0 {
+			l.corruptNext--
+		}
+		l.corrupted++
+		// Flip a bit mid-frame; the CRC trailer will expose it.
+		if len(pkt.Frame) > 0 {
+			pkt.Frame[len(pkt.Frame)/2] ^= 0x10
+		}
+	}
+	l.sent++
+	l.bytes += uint64(pkt.WireLen())
+	l.k.At(start, func() { l.dst.PacketArriving(pkt, end) })
+}
+
+// Busy reports whether the fiber is occupied at the current instant.
+func (l *Link) Busy() bool { return l.freeAt > l.k.Now() }
+
+// FreeAt returns when the fiber becomes free.
+func (l *Link) FreeAt() sim.Time { return l.freeAt }
+
+// DropNext discards the next n packets presented for transmission.
+func (l *Link) DropNext(n int) { l.dropNext += n }
+
+// CorruptNext flips a bit in each of the next n packets.
+func (l *Link) CorruptNext(n int) { l.corruptNext += n }
+
+// SetFaultFn installs a deterministic per-packet fault pattern: fn is
+// called with the packet's ordinal and decides whether it is dropped or
+// corrupted. Tests use it to subject reliable protocols to arbitrary
+// loss patterns. Pass nil to clear.
+func (l *Link) SetFaultFn(fn func(seq uint64) (drop, corrupt bool)) { l.faultFn = fn }
+
+// Stats returns (packets sent, packets dropped, packets corrupted, bytes).
+func (l *Link) Stats() (sent, dropped, corrupted, bytes uint64) {
+	return l.sent, l.dropped, l.corrupted, l.bytes
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("fiber(%s)", l.name)
+}

@@ -1,0 +1,81 @@
+package fiber
+
+import (
+	"testing"
+
+	"nectar/internal/model"
+	"nectar/internal/sim"
+)
+
+type sink struct {
+	k   *sim.Kernel
+	got []*Packet
+}
+
+func (s *sink) PacketArriving(p *Packet, end sim.Time) { s.got = append(s.got, p) }
+
+func TestWireLen(t *testing.T) {
+	p := &Packet{Route: []byte{1, 2}, Frame: make([]byte, 100)}
+	if p.WireLen() != 103 { // route-length byte + 2 route bytes + frame
+		t.Errorf("WireLen = %d, want 103", p.WireLen())
+	}
+}
+
+func TestFaultFnPattern(t *testing.T) {
+	k := sim.NewKernel()
+	s := &sink{k: k}
+	l := NewLink(k, model.Default1990(), "l", s)
+	l.SetFaultFn(func(seq uint64) (bool, bool) {
+		return seq%2 == 0, false // drop every even packet
+	})
+	k.After(0, func() {
+		for i := 0; i < 6; i++ {
+			l.Send(&Packet{Frame: make([]byte, 10)})
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.got) != 3 {
+		t.Errorf("delivered %d of 6, want 3", len(s.got))
+	}
+	sent, dropped, _, _ := l.Stats()
+	if sent != 3 || dropped != 3 {
+		t.Errorf("stats sent=%d dropped=%d", sent, dropped)
+	}
+	l.SetFaultFn(nil)
+	k.After(0, func() { l.Send(&Packet{Frame: make([]byte, 10)}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.got) != 4 {
+		t.Error("cleared fault fn still dropping")
+	}
+}
+
+func TestBusyAndFreeAt(t *testing.T) {
+	k := sim.NewKernel()
+	s := &sink{k: k}
+	l := NewLink(k, model.Default1990(), "l", s)
+	k.After(0, func() {
+		l.Send(&Packet{Frame: make([]byte, 1249)}) // 1250 wire bytes = 100us
+		if !l.Busy() {
+			k.Fatalf("link not busy during transmission")
+		}
+		if l.FreeAt() != sim.Time(100*sim.Microsecond) {
+			k.Fatalf("FreeAt = %v", l.FreeAt())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil destination accepted")
+		}
+	}()
+	NewLink(sim.NewKernel(), model.Default1990(), "l", nil)
+}

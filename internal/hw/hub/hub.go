@@ -1,0 +1,132 @@
+// Package hub models the Nectar HUB (paper §2.1): a 16x16 crossbar switch
+// with fiber I/O ports and a controller implementing commands that CABs use
+// to set up packet-switching and circuit-switching connections.
+//
+// CABs use source routing: a packet carries the list of HUB output-port
+// numbers it must traverse. Forwarding is cut-through — a HUB begins
+// retransmitting 700 ns (HubSetup) after the first byte arrives, while the
+// rest of the packet is still streaming in. Large Nectar systems connect
+// several HUBs through their I/O ports; multi-hop routes consume one route
+// byte per HUB.
+//
+// Circuit switching: OpenCircuit reserves an output port for an input
+// port; packets flagged Circuit then cross without per-packet setup. The
+// controller refuses to open a circuit on a port that is already reserved,
+// and packet-switched traffic to a reserved port is an error (the paper's
+// HUB command set provides low-level flow control; our model surfaces
+// misuse as a simulation failure rather than silently queueing).
+package hub
+
+import (
+	"fmt"
+
+	"nectar/internal/hw/fiber"
+	"nectar/internal/model"
+	"nectar/internal/sim"
+)
+
+// DefaultPorts is the port count of the prototype's crossbars (16x16).
+const DefaultPorts = 16
+
+// Hub is one crossbar switch.
+type Hub struct {
+	k     *sim.Kernel
+	cost  *model.CostModel
+	name  string
+	out   []*fiber.Link // indexed by output port; nil = unconnected
+	circ  []int         // output port -> input port holding a circuit, -1 = none
+	stats struct {
+		forwarded uint64
+		setupOps  uint64
+	}
+}
+
+// New creates a HUB with n ports.
+func New(k *sim.Kernel, cost *model.CostModel, name string, n int) *Hub {
+	h := &Hub{k: k, cost: cost, name: name, out: make([]*fiber.Link, n), circ: make([]int, n)}
+	for i := range h.circ {
+		h.circ[i] = -1
+	}
+	return h
+}
+
+// Name returns the HUB name.
+func (h *Hub) Name() string { return h.name }
+
+// Ports returns the number of I/O ports.
+func (h *Hub) Ports() int { return len(h.out) }
+
+// ConnectOut attaches the fiber leaving output port p.
+func (h *Hub) ConnectOut(p int, l *fiber.Link) {
+	if h.out[p] != nil {
+		panic(fmt.Sprintf("hub %s: output port %d already connected", h.name, p))
+	}
+	h.out[p] = l
+}
+
+// InPort returns the endpoint for fibers terminating at this HUB. All
+// input ports share forwarding logic; the port identity only matters for
+// circuit bookkeeping.
+func (h *Hub) InPort(p int) fiber.Endpoint {
+	return &inPort{hub: h, port: p}
+}
+
+type inPort struct {
+	hub  *Hub
+	port int
+}
+
+// PacketArriving implements cut-through forwarding: consume the packet's
+// next route byte and retransmit on that output port after the setup
+// delay. The outgoing serialization overlaps the incoming one.
+func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
+	h := ip.hub
+	if len(pkt.Route) == 0 {
+		h.k.Fatalf("hub %s: packet with exhausted route arrived on port %d", h.name, ip.port)
+		return
+	}
+	outPort := int(pkt.Route[0])
+	pkt.Route = pkt.Route[1:]
+	if outPort >= len(h.out) || h.out[outPort] == nil {
+		h.k.Fatalf("hub %s: route names unconnected port %d", h.name, outPort)
+		return
+	}
+	if h.circ[outPort] >= 0 && !pkt.Circuit {
+		h.k.Fatalf("hub %s: packet-switched frame to port %d which is circuit-reserved", h.name, outPort)
+		return
+	}
+	if pkt.Circuit && h.circ[outPort] != ip.port {
+		h.k.Fatalf("hub %s: circuit frame on port %d but no circuit from input %d", h.name, outPort, ip.port)
+		return
+	}
+	delay := h.cost.HubSetup
+	if pkt.Circuit {
+		// The crossbar is already configured: only propagation remains.
+		delay = 0
+	}
+	h.stats.forwarded++
+	h.out[outPort].SendAt(pkt, h.k.Now()+sim.Time(delay))
+}
+
+// OpenCircuit reserves output port out for traffic from input port in
+// (controller command). It charges the setup latency once; packets sent
+// with Circuit=true then cross with no per-packet setup.
+func (h *Hub) OpenCircuit(in, out int) error {
+	if h.circ[out] >= 0 {
+		return fmt.Errorf("hub %s: port %d already reserved by input %d", h.name, out, h.circ[out])
+	}
+	h.circ[out] = in
+	h.stats.setupOps++
+	return nil
+}
+
+// CloseCircuit releases the circuit on output port out.
+func (h *Hub) CloseCircuit(out int) {
+	h.circ[out] = -1
+}
+
+// CircuitHolder returns the input port holding a circuit on out, or -1.
+func (h *Hub) CircuitHolder(out int) int { return h.circ[out] }
+
+// Forwarded returns the number of packets forwarded.
+func (h *Hub) Forwarded() uint64 { return h.stats.forwarded }

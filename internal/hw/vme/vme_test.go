@@ -1,0 +1,97 @@
+package vme
+
+import (
+	"testing"
+
+	"nectar/internal/model"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+func rig() (*sim.Kernel, *threads.Sched, *Bus) {
+	k := sim.NewKernel()
+	cost := model.Default1990().Clone()
+	cost.ContextSwitch = 0
+	s := threads.New(k, cost, "host")
+	return k, s, New(k, cost, "vme0")
+}
+
+func TestPIOWordCost(t *testing.T) {
+	k, s, b := rig()
+	var end sim.Time
+	s.Fork("p", threads.SystemPriority, func(th *threads.Thread) {
+		b.PIO(th, 10) // 10 words at 1us each
+		end = th.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != sim.Time(10*sim.Microsecond) {
+		t.Errorf("10-word PIO took %v, want 10us", end)
+	}
+}
+
+func TestPIOBytesRoundsUpToWords(t *testing.T) {
+	k, s, b := rig()
+	var end sim.Time
+	s.Fork("p", threads.SystemPriority, func(th *threads.Thread) {
+		b.PIOBytes(th, 5) // 2 words
+		end = th.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != sim.Time(2*sim.Microsecond) {
+		t.Errorf("5-byte PIO took %v, want 2us", end)
+	}
+}
+
+func TestDMABandwidth(t *testing.T) {
+	k, _, b := rig()
+	var doneAt sim.Time
+	k.After(0, func() {
+		b.DMA(3750, func() { doneAt = k.Now() }) // 3750B at 3.75MB/s = 1ms
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(sim.Millisecond + 8*sim.Microsecond) // + setup
+	if doneAt != want {
+		t.Errorf("DMA done at %v, want %v", doneAt, want)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	// PIO issued during a DMA burst waits for the bus.
+	k, s, b := rig()
+	var pioEnd sim.Time
+	k.After(0, func() {
+		b.DMA(3750, func() {}) // bus busy ~1008us
+	})
+	s.Fork("p", threads.SystemPriority, func(th *threads.Thread) {
+		th.Sleep(100 * sim.Microsecond)
+		b.PIO(th, 1)
+		pioEnd = th.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pioEnd < sim.Time(sim.Millisecond) {
+		t.Errorf("PIO completed at %v during the DMA burst", pioEnd)
+	}
+}
+
+func TestStats(t *testing.T) {
+	k, s, b := rig()
+	s.Fork("p", threads.SystemPriority, func(th *threads.Thread) {
+		b.PIO(th, 3)
+	})
+	k.After(0, func() { b.DMA(100, func() {}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pw, db := b.Stats()
+	if pw != 3 || db != 100 {
+		t.Errorf("stats = %d/%d, want 3/100", pw, db)
+	}
+}

@@ -1,0 +1,179 @@
+// Package datalink implements the CAB's datalink layer (paper §4.1): it
+// reads the datalink header of an arriving frame, allocates buffer space
+// in the appropriate protocol input mailbox, initiates the DMA that places
+// the payload there, and issues the start-of-data and end-of-data upcalls
+// to the bound transport protocol — the start-of-data upcall running while
+// the remainder of the packet is still being received, "so that useful
+// work can be done" (e.g. IP's header sanity check).
+//
+// Reception normally happens at interrupt time, as in the paper's
+// production configuration. The §3.1 ablation — moving protocol input
+// processing into a high-priority system thread — is selected with
+// cab.SetRxInterruptMode(false) before NewLayer; arriving frames are then
+// queued to a dedicated rx thread and processed there, paying extra
+// context switches but spending less time with interrupts disabled.
+package datalink
+
+import (
+	"nectar/internal/hw/cab"
+	"nectar/internal/model"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/mailbox"
+	"nectar/internal/rt/threads"
+)
+
+// Protocol is a transport bound to a datalink frame type.
+type Protocol interface {
+	// InputMailbox is the mailbox that receives this protocol's frames
+	// (paper §4.1: "this mailbox constitutes the entire receive interface
+	// between IP and higher protocols" — same structure one level down).
+	InputMailbox() *mailbox.Mailbox
+	// StartOfData is the upcall issued once the protocol header has
+	// arrived, while the payload may still be streaming in. hdr aliases
+	// the frame's payload prefix. Returning false drops the frame.
+	StartOfData(t *threads.Thread, src wire.NodeID, hdr []byte) bool
+	// EndOfData is the upcall issued when the complete, CRC-verified
+	// payload sits in m (a message reserved in InputMailbox but not yet
+	// delivered). The protocol delivers it (EndPut/Enqueue) or aborts.
+	EndOfData(t *threads.Thread, src wire.NodeID, m *mailbox.Msg)
+}
+
+// Layer is the datalink software on one CAB.
+type Layer struct {
+	cab    *cab.CAB
+	rt     *mailbox.Runtime
+	cost   *model.CostModel
+	protos map[uint8]Protocol
+
+	// Polling-thread mode (ablation A1).
+	rxQ    []*rxItem
+	rxCond *threads.Cond
+	rxMu   *threads.Mutex
+
+	// Drop counters.
+	unknownType uint64
+	noBuffer    uint64
+	crcDrops    uint64
+	vetoed      uint64
+	delivered   uint64
+}
+
+type rxItem struct {
+	desc *cab.RxDesc             // start-of-packet work, or
+	run  func(t *threads.Thread) // an end-of-data action
+}
+
+// NewLayer installs the datalink layer on a CAB. The mailbox runtime
+// provides input-mailbox storage.
+func NewLayer(c *cab.CAB, rt *mailbox.Runtime) *Layer {
+	l := &Layer{cab: c, rt: rt, cost: c.Cost(), protos: make(map[uint8]Protocol)}
+	if c.RxInterruptMode() {
+		c.OnReceive(func(t *threads.Thread, d *cab.RxDesc) { l.receive(t, d) })
+	} else {
+		l.rxCond = threads.NewCond(c.Sched, "datalink.rx")
+		l.rxMu = threads.NewMutex("datalink.rxmu")
+		c.OnReceive(func(_ *threads.Thread, d *cab.RxDesc) {
+			// Kernel context: queue for the rx thread.
+			l.rxQ = append(l.rxQ, &rxItem{desc: d})
+			l.rxCond.Signal()
+		})
+		c.Sched.Fork("datalink-rx", threads.SystemPriority, l.rxThread)
+	}
+	return l
+}
+
+// Register binds a protocol to a frame type.
+func (l *Layer) Register(typ uint8, p Protocol) { l.protos[typ] = p }
+
+// Send transmits a frame of the given type to dst, gathering the payload
+// spans without copying (paper §4.1's IP_Output: header template from one
+// buffer, data from another). Callable from CAB threads and interrupt
+// handlers.
+func (l *Layer) Send(ctx exec.Context, typ uint8, dst wire.NodeID, payload ...[]byte) error {
+	ctx.Compute(l.cost.DatalinkProcess + l.cost.DMASetup)
+	l.cab.Kernel().Markf("dl.tx.%d", l.cab.Node())
+	return l.cab.Transmit(dst, wire.DatalinkHeader{Type: typ}, false, payload...)
+}
+
+// rxThread is the polling-mode input thread (ablation A1).
+func (l *Layer) rxThread(t *threads.Thread) {
+	for {
+		l.rxMu.Lock(t)
+		for len(l.rxQ) == 0 {
+			l.rxCond.Wait(t, l.rxMu)
+		}
+		item := l.rxQ[0]
+		l.rxQ = l.rxQ[1:]
+		l.rxMu.Unlock(t)
+		if item.run != nil {
+			item.run(t)
+		} else {
+			l.receive(t, item.desc)
+		}
+	}
+}
+
+// receive processes one arriving frame: header parse, buffer reservation,
+// start-of-data upcall, DMA, end-of-data upcall.
+func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
+	ctx := exec.OnCAB(t)
+	l.cab.Kernel().Markf("dl.rx.%d", l.cab.Node())
+	ctx.Compute(l.cost.DatalinkProcess)
+
+	var hdr wire.DatalinkHeader
+	if err := hdr.Unmarshal(d.Frame); err != nil {
+		l.crcDrops++ // mangled beyond parsing
+		return
+	}
+	p, ok := l.protos[hdr.Type]
+	if !ok {
+		l.unknownType++
+		return
+	}
+	payload := d.Payload()
+	m := p.InputMailbox().BeginPutNB(ctx, len(payload))
+	if m == nil {
+		// No buffer: the frame is lost, as when the paper's input pool
+		// overflows; reliable transports recover by retransmission.
+		l.noBuffer++
+		return
+	}
+	if !p.StartOfData(t, hdr.Src, payload) {
+		l.vetoed++
+		p.InputMailbox().AbortPut(ctx, m)
+		return
+	}
+	ctx.Compute(l.cost.DMASetup)
+	l.cab.StartRxDMA(d, m.Data(), func(ok bool) {
+		// Kernel context at DMA completion: deliver the end-of-data
+		// event the way this CAB is configured.
+		deliver := func(t2 *threads.Thread) {
+			ctx2 := exec.OnCAB(t2)
+			if !ok {
+				l.crcDrops++
+				p.InputMailbox().AbortPut(ctx2, m)
+				return
+			}
+			l.delivered++
+			p.EndOfData(t2, hdr.Src, m)
+		}
+		if l.cab.RxInterruptMode() {
+			l.cab.Sched.RaiseInterrupt("end-of-data", deliver)
+		} else {
+			l.rxMu2Deliver(deliver)
+		}
+	})
+}
+
+// rxMu2Deliver runs an end-of-data action on the rx thread in polling
+// mode. The action is queued as a closure item.
+func (l *Layer) rxMu2Deliver(fn func(t *threads.Thread)) {
+	l.rxQ = append(l.rxQ, &rxItem{run: fn})
+	l.rxCond.Signal()
+}
+
+// Stats returns drop/delivery counters.
+func (l *Layer) Stats() (delivered, unknownType, noBuffer, crcDrops, vetoed uint64) {
+	return l.delivered, l.unknownType, l.noBuffer, l.crcDrops, l.vetoed
+}

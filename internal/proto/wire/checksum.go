@@ -1,0 +1,61 @@
+// Package wire defines the on-the-wire formats used in the Nectar
+// reproduction: the datalink frame carried over the fiber (with its
+// hardware-computed CRC trailer and source-route prefix), the Nectar
+// transport headers (datagram, RMP, request-response), and standard IPv4,
+// ICMP, UDP and TCP headers with real Internet checksums.
+//
+// All multi-byte fields are big-endian (network byte order). Every header
+// type provides Marshal/Unmarshal that operate on caller-provided byte
+// slices — buffers live in simulated CAB data memory and are never copied
+// by the codec.
+package wire
+
+import "encoding/binary"
+
+// Checksum computes the Internet ones'-complement checksum over data,
+// per RFC 1071. A trailing odd byte is padded with zero.
+func Checksum(data []byte) uint16 {
+	return FinishChecksum(SumWords(0, data))
+}
+
+// SumWords adds the 16-bit big-endian words of data into an ones'-
+// complement partial sum. Use FinishChecksum to fold and invert. The
+// partial form allows checksumming across discontiguous spans (e.g. the
+// TCP pseudo-header followed by the segment).
+func SumWords(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// FinishChecksum folds the carries of a partial sum and returns the
+// ones'-complement result.
+func FinishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether data (which includes its checksum field)
+// sums to the all-ones pattern, i.e. the checksum is valid.
+func VerifyChecksum(data []byte) bool {
+	return FinishChecksum(SumWords(0, data)) == 0
+}
+
+// PseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header:
+// source address, destination address, zero+protocol, and length.
+func PseudoHeaderSum(src, dst uint32, proto uint8, length int) uint32 {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:], src)
+	binary.BigEndian.PutUint32(b[4:], dst)
+	b[8] = 0
+	b[9] = proto
+	binary.BigEndian.PutUint16(b[10:], uint16(length))
+	return SumWords(0, b[:])
+}

@@ -1,0 +1,215 @@
+// Package hostif implements the host-CAB signaling machinery of paper
+// §3.2 and Figure 4: host condition variables (with both polling and
+// blocking waits), the host and CAB signal queues, the CAB device driver's
+// interrupt handler, and the simple host-to-CAB RPC facility built on the
+// signaling mechanism.
+//
+// Host condition variables live in CAB memory where both sides can access
+// them. Signal increments a poll value; a polling host process spins on
+// the value with cheap mapped reads (no system call on the fast path),
+// while a blocking wait enters the CAB driver, which records the waiter
+// and sleeps the process until the CAB interrupts the host.
+package hostif
+
+import (
+	"fmt"
+
+	"nectar/internal/hw/cab"
+	"nectar/internal/hw/host"
+	"nectar/internal/model"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+// CABQueueCap is the capacity of the CAB signal queue. The queue has
+// fixed-size elements (paper §3.2); overflow is a runtime-system bug and
+// fails the simulation.
+const CABQueueCap = 256
+
+// IF is the host-CAB interface for one host/CAB pair.
+type IF struct {
+	host *host.Host
+	cab  *cab.CAB
+	k    *sim.Kernel
+	cost *model.CostModel
+
+	cabQ  []cabReq    // host -> CAB requests
+	hostQ []*HostCond // CAB -> host notifications
+
+	conds uint64 // allocated host conditions (naming)
+}
+
+type cabReq struct {
+	name string
+	fn   func(t *threads.Thread)
+}
+
+// New wires the interface for a host and its CAB, registering both
+// interrupt handlers.
+func New(h *host.Host, c *cab.CAB) *IF {
+	f := &IF{host: h, cab: c, k: h.Kernel(), cost: h.Cost()}
+	c.OnHostDoorbell(f.cabISR)
+	h.OnCABInterrupt(f.hostISR)
+	return f
+}
+
+// Host returns the host side of the pair.
+func (f *IF) Host() *host.Host { return f.host }
+
+// CAB returns the CAB side of the pair.
+func (f *IF) CAB() *cab.CAB { return f.cab }
+
+// PostToCAB places a request in the CAB signal queue and rings the CAB's
+// doorbell (paper §3.2: "Host processes wake up CAB threads by placing a
+// request in the CAB signal queue and interrupting the CAB"). fn runs on
+// the CAB in interrupt context. Must be called from a host context.
+func (f *IF) PostToCAB(ctx exec.Context, name string, fn func(t *threads.Thread)) {
+	if !ctx.IsHost() {
+		panic("hostif: PostToCAB from CAB context")
+	}
+	if len(f.cabQ) >= CABQueueCap {
+		f.k.Fatalf("hostif: CAB signal queue overflow")
+		return
+	}
+	ctx.Words(2 + 1) // queue element (opcode + parameter) plus doorbell register
+	f.k.Markf("hostif.post.%d", f.cab.Node())
+	f.cabQ = append(f.cabQ, cabReq{name, fn})
+	f.cab.RingFromHost()
+}
+
+// cabISR is the CAB's doorbell handler: drain the CAB signal queue.
+func (f *IF) cabISR(t *threads.Thread) {
+	f.k.Markf("hostif.cabisr.%d", f.cab.Node())
+	for len(f.cabQ) > 0 {
+		req := f.cabQ[0]
+		f.cabQ = f.cabQ[1:]
+		t.Compute(1 * sim.Microsecond) // dequeue and dispatch
+		req.fn(t)
+	}
+}
+
+// hostISR is the host's CAB-driver interrupt handler: drain the host
+// signal queue and wake processes waiting on the signaled conditions
+// (paper §3.2 and Figure 4).
+func (f *IF) hostISR(t *threads.Thread) {
+	t.Compute(f.cost.HostInterrupt)
+	for len(f.hostQ) > 0 {
+		hc := f.hostQ[0]
+		f.hostQ = f.hostQ[1:]
+		t.Compute(1 * sim.Microsecond)
+		hc.wakeAll()
+	}
+}
+
+// HostCond is a host condition variable (paper §3.2). It conceptually
+// lives in CAB memory; every access from the host side is charged as a
+// VME word access.
+type HostCond struct {
+	f       *IF
+	name    string
+	poll    uint32
+	waiters []*threads.Thread // host processes blocked in the driver
+	queued  bool              // already in the host signal queue
+}
+
+// NewHostCond allocates a host condition in CAB memory.
+func (f *IF) NewHostCond(name string) *HostCond {
+	f.conds++
+	return &HostCond{f: f, name: fmt.Sprintf("%s#%d", name, f.conds)}
+}
+
+// Poll reads the condition's poll value (one mapped read).
+func (hc *HostCond) Poll(ctx exec.Context) uint32 {
+	ctx.Words(1)
+	return hc.poll
+}
+
+// Signal increments the poll value and, if any process is blocked in the
+// driver, arranges for it to be woken: directly when the signaler is a
+// host process, via the host signal queue and a host interrupt when the
+// signaler is a CAB thread (paper §3.2: "Both CAB threads and host
+// processes can signal a host condition").
+func (hc *HostCond) Signal(ctx exec.Context) {
+	ctx.Compute(hc.f.cost.SyncOp)
+	ctx.Words(1)
+	hc.f.k.Markf("hostcond.signal.%d", hc.f.cab.Node())
+	hc.poll++
+	if len(hc.waiters) == 0 {
+		return
+	}
+	if ctx.IsHost() {
+		hc.wakeAll()
+		return
+	}
+	// CAB side: enqueue on the host signal queue and interrupt the host.
+	ctx.Compute(hc.f.cost.HostSignal)
+	ctx.Words(2)
+	if !hc.queued {
+		hc.queued = true
+		hc.f.hostQ = append(hc.f.hostQ, hc)
+		hc.f.cab.InterruptHost()
+	}
+}
+
+func (hc *HostCond) wakeAll() {
+	hc.queued = false
+	ws := hc.waiters
+	hc.waiters = nil
+	for _, w := range ws {
+		w.Unblock()
+	}
+}
+
+// WaitPoll spins on the poll value until it differs from since (obtained
+// from a prior Poll), charging one mapped read per iteration. This is the
+// paper's no-system-call fast path for latency-critical waits.
+func (hc *HostCond) WaitPoll(ctx exec.Context, since uint32) {
+	if !ctx.IsHost() {
+		panic("hostif: WaitPoll from CAB context")
+	}
+	for {
+		ctx.Compute(hc.f.cost.HostPollIteration)
+		ctx.Words(1)
+		if hc.poll != since {
+			return
+		}
+	}
+}
+
+// WaitBlocking enters the CAB driver and sleeps the calling process until
+// the condition is signaled (paper §3.2: polling "wastes host CPU cycles",
+// so a server process waits in the driver instead). since guards against
+// a signal that arrived after the caller last observed the poll value.
+func (hc *HostCond) WaitBlocking(ctx exec.Context, since uint32) {
+	if !ctx.IsHost() {
+		panic("hostif: WaitBlocking from CAB context")
+	}
+	ctx.Compute(hc.f.cost.HostSyscall) // enter the driver
+	ctx.Words(1)
+	if hc.poll != since {
+		return // already signaled
+	}
+	hc.waiters = append(hc.waiters, ctx.T)
+	ctx.T.Block("hostcond:" + hc.name)
+	ctx.Compute(hc.f.cost.HostSyscall / 2) // return path from the driver
+}
+
+// CallCAB is the simple host-to-CAB RPC facility (paper §3.2): the request
+// is posted to the CAB signal queue; fn runs on the CAB in interrupt
+// context and returns a one-word result, which the host retrieves through
+// the returned completion. The paper's sync abstraction provides the
+// equivalent synchronization for general use; the driver-internal variant
+// here keeps the packages layered.
+func (f *IF) CallCAB(ctx exec.Context, name string, fn func(t *threads.Thread) uint32) uint32 {
+	done := f.NewHostCond("rpc:" + name)
+	var result uint32
+	since := done.Poll(ctx)
+	f.PostToCAB(ctx, name, func(t *threads.Thread) {
+		result = fn(t)
+		done.Signal(exec.OnCAB(t))
+	})
+	done.WaitPoll(ctx, since)
+	ctx.Words(1) // fetch the result word
+	return result
+}

@@ -1,0 +1,556 @@
+// Package mailbox implements the CAB runtime system's mailboxes (paper
+// §3.3): queues of messages with network-wide addresses, whose buffer
+// space lives in CAB data memory so that host processes and CAB threads
+// build and consume messages in place.
+//
+// The two-phase interface (Begin_Put/End_Put, Begin_Get/End_Get) lets
+// writers fill message buffers and readers consume them with no copying;
+// Enqueue moves a message between mailboxes by pointer surgery; and the
+// trim operations remove a prefix or suffix in place — which is how IP
+// strips headers and hands the remaining datagram to a higher protocol
+// without touching the data (paper §4.1).
+//
+// Every operation takes an exec.Context identifying the caller (CAB thread
+// or host process) and charges the corresponding costs. Host-side
+// operations come in the two implementations the paper compares (§3.3): a
+// shared-memory version that updates the data structures directly over the
+// VME bus, and an RPC version that ships the operation to the CAB; the
+// implementation is selected per mailbox, dynamically.
+package mailbox
+
+import (
+	"fmt"
+
+	"nectar/internal/hw/cab"
+	"nectar/internal/hw/mem"
+	"nectar/internal/model"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/hostif"
+	"nectar/internal/rt/threads"
+)
+
+// CachedBufSize is the size of the per-mailbox cached buffer that avoids
+// heap allocation for small messages (paper §3.3).
+const CachedBufSize = 256
+
+// DefaultCapacity is the default per-mailbox buffer budget: the sum of
+// queued and reserved message bytes a mailbox may hold before Begin_Put
+// blocks.
+const DefaultCapacity = 64 << 10
+
+// Runtime is the mailbox subsystem of one CAB's runtime system.
+type Runtime struct {
+	cab    *cab.CAB
+	iface  *hostif.IF // host signaling; nil until a host is attached
+	cost   *model.CostModel
+	boxes  map[wire.MailboxID]*Mailbox
+	nextID wire.MailboxID
+}
+
+// NewRuntime creates the mailbox runtime for a CAB.
+func NewRuntime(c *cab.CAB) *Runtime {
+	return &Runtime{
+		cab:   c,
+		cost:  c.Cost(),
+		boxes: make(map[wire.MailboxID]*Mailbox),
+	}
+}
+
+// AttachHost connects the host interface used for signaling host readers
+// and writers.
+func (r *Runtime) AttachHost(f *hostif.IF) { r.iface = f }
+
+// CAB returns the board this runtime manages.
+func (r *Runtime) CAB() *cab.CAB { return r.cab }
+
+// Create allocates a new mailbox with a fresh network-wide address.
+func (r *Runtime) Create(name string) *Mailbox {
+	r.nextID++
+	return r.build(r.nextID, name)
+}
+
+// CreateWithID allocates a mailbox at a reserved well-known ID (used by
+// runtime services that must be addressable before any exchange, like the
+// Nectarine control task). It panics if the ID is taken.
+func (r *Runtime) CreateWithID(id wire.MailboxID, name string) *Mailbox {
+	if _, taken := r.boxes[id]; taken {
+		panic(fmt.Sprintf("mailbox: ID %d already in use", id))
+	}
+	return r.build(id, name)
+}
+
+func (r *Runtime) build(id wire.MailboxID, name string) *Mailbox {
+	mb := &Mailbox{
+		rt:       r,
+		name:     name,
+		id:       id,
+		capacity: DefaultCapacity,
+		notEmpty: threads.NewCond(r.cab.Sched, name+".notEmpty"),
+		notFull:  threads.NewCond(r.cab.Sched, name+".notFull"),
+		mu:       threads.NewMutex(name + ".mu"),
+	}
+	// The cached small buffer (allocated once, reused for small messages).
+	if buf, addr, ok := r.cab.Heap.Alloc(CachedBufSize); ok {
+		mb.cache = buf
+		mb.cacheAddr = addr
+		mb.cacheFree = true
+	}
+	r.boxes[mb.id] = mb
+	return mb
+}
+
+// Lookup resolves a local mailbox ID (used by transports delivering
+// network messages).
+func (r *Runtime) Lookup(id wire.MailboxID) (*Mailbox, bool) {
+	mb, ok := r.boxes[id]
+	return mb, ok
+}
+
+// msgState tracks where a message's bytes are accounted.
+type msgState int
+
+const (
+	stateReserved msgState = iota // between Begin_Put and End_Put: counted in owner.reserved
+	stateQueued                   // in owner's queue: counted in owner.queued
+	stateHeld                     // between Begin_Get and End_Get: held by the reader
+)
+
+// Msg is a message in a mailbox buffer. The data window [off, off+n) of
+// the underlying allocation can be trimmed in place.
+type Msg struct {
+	rt     *Runtime
+	buf    []byte // full allocation
+	addr   mem.Addr
+	cached *Mailbox // non-nil: buf is this mailbox's cached buffer
+	off    int      // current window start
+	n      int      // current window length
+	state  msgState
+	owner  *Mailbox // mailbox whose accounting covers this message
+
+	// From records the sender's reply address when a transport delivered
+	// this message from the network (paper §3.3: network-wide addressing
+	// lets remote services be invoked; the transport keeps the requester's
+	// address alongside the request).
+	From wire.MailboxAddr
+	// Tag carries transport metadata alongside a delivered message (the
+	// request-response protocol's transaction ID, which Reply echoes).
+	Tag uint32
+	// Meta carries runtime-internal metadata for messages in protocol
+	// send-request mailboxes (e.g. the status sync a host sender attached
+	// to its request). On the real CAB this is a one-word CAB-memory
+	// address inside the request; here it is an opaque reference.
+	Meta any
+}
+
+// Data returns the message's current data window (bytes in CAB memory).
+func (m *Msg) Data() []byte { return m.buf[m.off : m.off+m.n] }
+
+// Len returns the current window length.
+func (m *Msg) Len() int { return m.n }
+
+// TrimPrefix removes n bytes from the front of the message in place
+// (paper §3.3: "removing a prefix or suffix of the message without doing
+// any copying").
+func (m *Msg) TrimPrefix(ctx exec.Context, n int) {
+	if n < 0 || n > m.n {
+		panic(fmt.Sprintf("mailbox: TrimPrefix(%d) of %d-byte message", n, m.n))
+	}
+	ctx.Compute(m.rt.cost.MailboxEnqueue / 2)
+	ctx.Words(2)
+	m.off += n
+	m.n -= n
+}
+
+// TrimSuffix removes n bytes from the end of the message in place.
+func (m *Msg) TrimSuffix(ctx exec.Context, n int) {
+	if n < 0 || n > m.n {
+		panic(fmt.Sprintf("mailbox: TrimSuffix(%d) of %d-byte message", n, m.n))
+	}
+	ctx.Compute(m.rt.cost.MailboxEnqueue / 2)
+	ctx.Words(2)
+	m.n -= n
+}
+
+// Write copies src into the message at offset off, charging the caller's
+// data-path costs (PIO words from a host, a memory copy on the CAB).
+func (m *Msg) Write(ctx exec.Context, off int, src []byte) {
+	ctx.CopyIn(m.Data()[off:off+len(src)], src)
+}
+
+// Read copies the window [off, off+len(dst)) into dst.
+func (m *Msg) Read(ctx exec.Context, off int, dst []byte) {
+	ctx.CopyOut(dst, m.Data()[off:off+len(dst)])
+}
+
+// Mailbox is one message queue (paper §3.3).
+type Mailbox struct {
+	rt   *Runtime
+	name string
+	id   wire.MailboxID
+
+	queue    []*Msg
+	queued   int // bytes in queue
+	reserved int // bytes reserved by outstanding Begin_Puts
+	capacity int
+
+	mu       *threads.Mutex
+	notEmpty *threads.Cond
+	notFull  *threads.Cond
+
+	hcNotEmpty *hostif.HostCond // created on first host reader
+	hcNotFull  *hostif.HostCond
+
+	upcall func(t *threads.Thread, mb *Mailbox)
+
+	hostRPC bool // host ops use the RPC implementation (§3.3)
+
+	cache     []byte
+	cacheAddr mem.Addr
+	cacheFree bool
+
+	puts, gets, enqueues uint64
+}
+
+// Name returns the mailbox name.
+func (mb *Mailbox) Name() string { return mb.name }
+
+// ID returns the local mailbox ID.
+func (mb *Mailbox) ID() wire.MailboxID { return mb.id }
+
+// Addr returns the network-wide mailbox address.
+func (mb *Mailbox) Addr() wire.MailboxAddr {
+	return wire.MailboxAddr{Node: mb.rt.cab.Node(), Box: mb.id}
+}
+
+// SetCapacity adjusts the buffer budget.
+func (mb *Mailbox) SetCapacity(n int) { mb.capacity = n }
+
+// SetUpcall attaches a reader upcall, invoked as a side effect of End_Put
+// and Enqueue (paper §3.3: "this effectively converts a cross-thread
+// procedure call into a local one"). Pass nil to detach.
+func (mb *Mailbox) SetUpcall(fn func(t *threads.Thread, mb *Mailbox)) { mb.upcall = fn }
+
+// SetHostRPC selects the RPC-based implementation for host-side
+// operations on this mailbox (the paper's comparison baseline; the
+// shared-memory implementation is the default and is about twice as fast,
+// §3.3).
+func (mb *Mailbox) SetHostRPC(on bool) { mb.hostRPC = on }
+
+// Pending returns the number of queued messages.
+func (mb *Mailbox) Pending() int { return len(mb.queue) }
+
+// QueuedBytes returns the number of message bytes sitting in the queue.
+func (mb *Mailbox) QueuedBytes() int { return mb.queued }
+
+// Stats returns cumulative (puts, gets, enqueues).
+func (mb *Mailbox) Stats() (puts, gets, enqueues uint64) {
+	return mb.puts, mb.gets, mb.enqueues
+}
+
+func (mb *Mailbox) hostConds() (*hostif.HostCond, *hostif.HostCond) {
+	if mb.hcNotEmpty == nil {
+		if mb.rt.iface == nil {
+			panic(fmt.Sprintf("mailbox %s: host operation with no host attached", mb.name))
+		}
+		mb.hcNotEmpty = mb.rt.iface.NewHostCond(mb.name + ".notEmpty")
+		mb.hcNotFull = mb.rt.iface.NewHostCond(mb.name + ".notFull")
+	}
+	return mb.hcNotEmpty, mb.hcNotFull
+}
+
+// --- Begin_Put / End_Put ---
+
+// BeginPut reserves a buffer for an n-byte message, blocking until space
+// is available. Returns the message whose Data() window the caller fills.
+func (mb *Mailbox) BeginPut(ctx exec.Context, n int) *Msg {
+	if ctx.IsHost() {
+		return mb.beginPutHost(ctx, n)
+	}
+	ctx.Compute(mb.rt.cost.MailboxBeginPut)
+	ctx.Words(3)
+	for {
+		if m := mb.tryReserve(ctx, n); m != nil {
+			return m
+		}
+		// Mesa semantics: wait for any release in this mailbox, then
+		// retry the reservation (space may be claimed by another writer
+		// first, or the heap may still be exhausted).
+		mb.mu.Lock(ctx.T)
+		mb.notFull.Wait(ctx.T, mb.mu)
+		mb.mu.Unlock(ctx.T)
+	}
+}
+
+// BeginPutNB is the non-blocking Begin_Put used by interrupt handlers
+// (paper §3.3). It returns nil when no space or no buffer is available.
+func (mb *Mailbox) BeginPutNB(ctx exec.Context, n int) *Msg {
+	ctx.Compute(mb.rt.cost.MailboxBeginPut)
+	ctx.Words(3)
+	return mb.tryReserve(ctx, n)
+}
+
+// tryReserve allocates the buffer if the budget allows.
+func (mb *Mailbox) tryReserve(ctx exec.Context, n int) *Msg {
+	if mb.queued+mb.reserved+n > mb.capacity {
+		return nil
+	}
+	// Small messages use the mailbox's cached buffer when free.
+	if n <= CachedBufSize && mb.cacheFree && mb.cache != nil {
+		mb.cacheFree = false
+		mb.reserved += n
+		return &Msg{rt: mb.rt, buf: mb.cache[:n], addr: mb.cacheAddr, cached: mb, n: n, state: stateReserved, owner: mb}
+	}
+	ctx.Compute(mb.rt.cost.HeapAlloc)
+	buf, addr, ok := mb.rt.cab.Heap.Alloc(n)
+	if !ok {
+		return nil
+	}
+	mb.reserved += n
+	return &Msg{rt: mb.rt, buf: buf[:n], addr: addr, n: n, state: stateReserved, owner: mb}
+}
+
+// EndPut makes a filled message available to readers (paper §3.3) and
+// fires the reader upcall, if attached.
+func (mb *Mailbox) EndPut(ctx exec.Context, m *Msg) {
+	if ctx.IsHost() {
+		mb.endPutHost(ctx, m)
+		return
+	}
+	ctx.Compute(mb.rt.cost.MailboxEndPut)
+	ctx.Words(3)
+	mb.deliver(ctx, m)
+}
+
+// deliver appends m to the queue and performs reader notification,
+// transferring byte accounting from m's previous state to this mailbox's
+// queue.
+func (mb *Mailbox) deliver(ctx exec.Context, m *Msg) {
+	if m.state == stateReserved {
+		m.owner.reserved -= m.n
+	}
+	m.state = stateQueued
+	m.owner = mb
+	mb.queued += m.n
+	mb.queue = append(mb.queue, m)
+	mb.puts++
+	mb.signalCAB(ctx, mb.notEmpty)
+	if mb.hcNotEmpty != nil {
+		mb.hcNotEmpty.Signal(ctx)
+	}
+	if mb.upcall != nil {
+		if ctx.IsHost() {
+			// The upcall body must run on the CAB; ship it over.
+			up := mb.upcall
+			mb.rt.iface.PostToCAB(ctx, mb.name+".upcall", func(t *threads.Thread) { up(t, mb) })
+		} else {
+			mb.upcall(ctx.T, mb)
+		}
+	}
+}
+
+// --- Begin_Get / End_Get ---
+
+// BeginGet removes and returns the next message, blocking while the
+// mailbox is empty. Host processes sleep in the CAB driver (paper §3.2's
+// blocking wait); use BeginGetPoll for the polling fast path.
+func (mb *Mailbox) BeginGet(ctx exec.Context) *Msg {
+	if ctx.IsHost() {
+		return mb.beginGetHost(ctx, false)
+	}
+	ctx.Compute(mb.rt.cost.MailboxBeginGet)
+	ctx.Words(2)
+	for {
+		if m := mb.pop(); m != nil {
+			return m
+		}
+		mb.mu.Lock(ctx.T)
+		for len(mb.queue) == 0 {
+			mb.notEmpty.Wait(ctx.T, mb.mu)
+		}
+		mb.mu.Unlock(ctx.T)
+	}
+}
+
+// BeginGetPoll is BeginGet with a spinning wait: from a host process it
+// polls the mailbox's host condition with mapped reads and no system
+// call — the paper's low-latency receive path (§6.1: "the host process is
+// polling for receipt of the message").
+func (mb *Mailbox) BeginGetPoll(ctx exec.Context) *Msg {
+	if ctx.IsHost() {
+		return mb.beginGetHost(ctx, true)
+	}
+	return mb.BeginGet(ctx)
+}
+
+// BeginGetNB removes and returns the next message, or nil if the mailbox
+// is empty. Safe from interrupt handlers.
+func (mb *Mailbox) BeginGetNB(ctx exec.Context) *Msg {
+	ctx.Compute(mb.rt.cost.MailboxBeginGet)
+	ctx.Words(2)
+	return mb.pop()
+}
+
+func (mb *Mailbox) pop() *Msg {
+	if len(mb.queue) == 0 {
+		return nil
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	mb.queued -= m.n
+	m.state = stateHeld
+	mb.gets++
+	return m
+}
+
+// EndGet releases the storage of a message obtained with Begin_Get.
+func (mb *Mailbox) EndGet(ctx exec.Context, m *Msg) {
+	if ctx.IsHost() {
+		mb.endGetHost(ctx, m)
+		return
+	}
+	ctx.Compute(mb.rt.cost.MailboxEndGet)
+	ctx.Words(2)
+	mb.release(ctx, m)
+}
+
+func (mb *Mailbox) release(ctx exec.Context, m *Msg) {
+	if m.cached != nil {
+		m.cached.cacheFree = true
+	} else {
+		ctx.Compute(mb.rt.cost.HeapFree)
+		mb.rt.cab.Heap.Free(m.addr)
+	}
+	m.buf = nil
+	if ctx.IsHost() && mb.notFull.HasWaiters() {
+		nf := mb.notFull
+		mb.rt.iface.PostToCAB(ctx, mb.name+".space", func(*threads.Thread) { nf.Broadcast() })
+	} else {
+		mb.notFull.Broadcast()
+	}
+	if mb.hcNotFull != nil {
+		mb.hcNotFull.Signal(ctx)
+	}
+}
+
+// signalCAB wakes CAB-side waiters on cond. A host caller cannot touch the
+// CAB scheduler directly: physically it posts to the CAB signal queue and
+// rings the doorbell, and the CAB's interrupt handler performs the wakeup
+// (paper §3.2 / Figure 6's "CAB must be interrupted and a CAB thread
+// scheduled to handle the message").
+func (mb *Mailbox) signalCAB(ctx exec.Context, cond *threads.Cond) {
+	if ctx.IsHost() {
+		if cond.HasWaiters() {
+			mb.rt.iface.PostToCAB(ctx, mb.name+".signal", func(*threads.Thread) { cond.Signal() })
+		}
+		return
+	}
+	cond.Signal()
+}
+
+// AbortPut abandons a Begin_Put without delivering: the reservation is
+// released and the buffer freed. Used by the datalink layer when a frame
+// fails its CRC or protocol sanity check mid-reception, and by readers
+// discarding a held message without further processing cost semantics.
+func (mb *Mailbox) AbortPut(ctx exec.Context, m *Msg) {
+	ctx.Compute(mb.rt.cost.MailboxEndGet)
+	ctx.Words(2)
+	if m.state == stateReserved {
+		m.owner.reserved -= m.n
+	}
+	mb.release(ctx, m)
+}
+
+// Enqueue moves a message to dst without copying the data (paper
+// §3.3/§4.1: IP transfers complete datagrams to the input mailbox of the
+// appropriate higher-level protocol with no copy). The message must be
+// held by the caller — either reserved (between Begin_Put and End_Put) or
+// obtained with Begin_Get; it must not be sitting in a queue.
+func (mb *Mailbox) Enqueue(ctx exec.Context, m *Msg, dst *Mailbox) {
+	if m.state == stateQueued {
+		panic(fmt.Sprintf("mailbox %s: Enqueue of a message still queued", mb.name))
+	}
+	ctx.Compute(mb.rt.cost.MailboxEnqueue)
+	ctx.Words(3)
+	mb.enqueues++
+	dst.deliver(ctx, m)
+}
+
+// --- Host-side implementations (paper §3.3: RPC-based vs shared-memory,
+// selectable per mailbox) ---
+
+func (mb *Mailbox) beginPutHost(ctx exec.Context, n int) *Msg {
+	_, notFull := mb.hostConds()
+	for {
+		var m *Msg
+		if mb.hostRPC {
+			mb.rt.iface.CallCAB(ctx, mb.name+".BeginPut", func(t *threads.Thread) uint32 {
+				m = mb.BeginPutNB(exec.OnCAB(t), n)
+				return 0
+			})
+		} else {
+			// Shared-memory implementation: manipulate the writer-side
+			// data structures directly with mapped accesses.
+			ctx.Compute(mb.rt.cost.MailboxBeginPut / 2)
+			ctx.Words(6)
+			m = mb.tryReserve(ctx, n)
+		}
+		if m != nil {
+			return m
+		}
+		since := notFull.Poll(ctx)
+		notFull.WaitBlocking(ctx, since)
+	}
+}
+
+func (mb *Mailbox) endPutHost(ctx exec.Context, m *Msg) {
+	if mb.hostRPC {
+		mb.rt.iface.CallCAB(ctx, mb.name+".EndPut", func(t *threads.Thread) uint32 {
+			mb.EndPut(exec.OnCAB(t), m)
+			return 0
+		})
+		return
+	}
+	ctx.Compute(mb.rt.cost.MailboxEndPut / 2)
+	ctx.Words(6)
+	mb.deliver(ctx, m)
+}
+
+func (mb *Mailbox) beginGetHost(ctx exec.Context, poll bool) *Msg {
+	notEmpty, _ := mb.hostConds()
+	for {
+		var m *Msg
+		if mb.hostRPC {
+			mb.rt.iface.CallCAB(ctx, mb.name+".BeginGet", func(t *threads.Thread) uint32 {
+				m = mb.BeginGetNB(exec.OnCAB(t))
+				return 0
+			})
+		} else {
+			ctx.Compute(mb.rt.cost.MailboxBeginGet / 2)
+			ctx.Words(5)
+			m = mb.pop()
+		}
+		if m != nil {
+			return m
+		}
+		since := notEmpty.Poll(ctx)
+		if poll {
+			notEmpty.WaitPoll(ctx, since)
+		} else {
+			notEmpty.WaitBlocking(ctx, since)
+		}
+	}
+}
+
+func (mb *Mailbox) endGetHost(ctx exec.Context, m *Msg) {
+	if mb.hostRPC {
+		mb.rt.iface.CallCAB(ctx, mb.name+".EndGet", func(t *threads.Thread) uint32 {
+			mb.EndGet(exec.OnCAB(t), m)
+			return 0
+		})
+		return
+	}
+	ctx.Compute(mb.rt.cost.MailboxEndGet / 2)
+	ctx.Words(5)
+	mb.release(ctx, m)
+}

@@ -1,0 +1,470 @@
+package mailbox
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nectar/internal/hw/cab"
+	"nectar/internal/hw/host"
+	"nectar/internal/model"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/hostif"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+type rig struct {
+	k  *sim.Kernel
+	c  *cab.CAB
+	h  *host.Host
+	f  *hostif.IF
+	rt *Runtime
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	cost := model.Default1990()
+	c := cab.New(k, cost, 1)
+	h := host.New(k, cost, "host1", c)
+	f := hostif.New(h, c)
+	rt := NewRuntime(c)
+	rt.AttachHost(f)
+	return &rig{k: k, c: c, h: h, f: f, rt: rt}
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetOnCAB(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var got []byte
+	r.c.Sched.Fork("writer", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 11)
+		m.Write(ctx, 0, []byte("hello world"))
+		mb.EndPut(ctx, m)
+	})
+	r.c.Sched.Fork("reader", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginGet(ctx)
+		got = append([]byte(nil), m.Data()...)
+		mb.EndGet(ctx, m)
+	})
+	r.run(t)
+	if string(got) != "hello world" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestReaderBlocksUntilMessage(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var gotAt sim.Time
+	r.c.Sched.Fork("reader", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginGet(ctx)
+		gotAt = th.Now()
+		mb.EndGet(ctx, m)
+	})
+	r.c.Sched.Fork("writer", threads.SystemPriority, func(th *threads.Thread) {
+		th.Sleep(300 * sim.Microsecond)
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 4)
+		m.Write(ctx, 0, []byte("ping"))
+		mb.EndPut(ctx, m)
+	})
+	r.run(t)
+	if gotAt < sim.Time(300*sim.Microsecond) {
+		t.Errorf("reader returned at %v, before the write", gotAt)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var got []byte
+	r.c.Sched.Fork("writer", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		for i := byte(0); i < 10; i++ {
+			m := mb.BeginPut(ctx, 1)
+			m.Data()[0] = i
+			mb.EndPut(ctx, m)
+		}
+	})
+	r.c.Sched.Fork("reader", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		for i := 0; i < 10; i++ {
+			m := mb.BeginGet(ctx)
+			got = append(got, m.Data()[0])
+			mb.EndGet(ctx, m)
+		}
+	})
+	r.run(t)
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestBeginPutBlocksWhenFull(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	mb.SetCapacity(1024)
+	var secondAt sim.Time
+	r.c.Sched.Fork("writer", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m1 := mb.BeginPut(ctx, 1000)
+		mb.EndPut(ctx, m1)
+		m2 := mb.BeginPut(ctx, 1000) // must block until reader frees m1
+		secondAt = th.Now()
+		mb.EndPut(ctx, m2)
+	})
+	r.c.Sched.Fork("reader", threads.SystemPriority, func(th *threads.Thread) {
+		th.Sleep(400 * sim.Microsecond)
+		ctx := exec.OnCAB(th)
+		m := mb.BeginGet(ctx)
+		mb.EndGet(ctx, m)
+		m2 := mb.BeginGet(ctx)
+		mb.EndGet(ctx, m2)
+	})
+	r.run(t)
+	if secondAt < sim.Time(400*sim.Microsecond) {
+		t.Errorf("second BeginPut returned at %v, before space was freed", secondAt)
+	}
+}
+
+func TestBeginPutNBFailsWhenFull(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	mb.SetCapacity(512)
+	var nb *Msg
+	okPath := false
+	r.c.Sched.Fork("w", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 512)
+		nb = mb.BeginPutNB(ctx, 512)
+		okPath = true
+		mb.EndPut(ctx, m)
+		got := mb.BeginGet(ctx)
+		mb.EndGet(ctx, got)
+	})
+	r.run(t)
+	if !okPath {
+		t.Fatal("writer did not complete")
+	}
+	if nb != nil {
+		t.Error("BeginPutNB succeeded on a full mailbox")
+	}
+}
+
+func TestCachedSmallBuffer(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	allocs0 := r.c.Heap.Allocs()
+	r.c.Sched.Fork("w", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		for i := 0; i < 5; i++ {
+			m := mb.BeginPut(ctx, 64) // <= CachedBufSize
+			mb.EndPut(ctx, m)
+			g := mb.BeginGet(ctx)
+			mb.EndGet(ctx, g)
+		}
+	})
+	r.run(t)
+	if allocs := r.c.Heap.Allocs() - allocs0; allocs != 0 {
+		t.Errorf("%d heap allocs for small messages, want 0 (cached buffer)", allocs)
+	}
+}
+
+func TestLargeMessageUsesHeap(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	allocs0 := r.c.Heap.Allocs()
+	r.c.Sched.Fork("w", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 4096)
+		mb.EndPut(ctx, m)
+		g := mb.BeginGet(ctx)
+		mb.EndGet(ctx, g)
+	})
+	r.run(t)
+	if allocs := r.c.Heap.Allocs() - allocs0; allocs != 1 {
+		t.Errorf("allocs = %d, want 1", allocs)
+	}
+	if r.c.Heap.Used() != CachedBufSize {
+		t.Errorf("leak: heap used = %d, want only the cached buffer (%d)", r.c.Heap.Used(), CachedBufSize)
+	}
+}
+
+func TestTrimPrefixSuffix(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var got []byte
+	r.c.Sched.Fork("w", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 12)
+		m.Write(ctx, 0, []byte("HDRpayloadTL"))
+		mb.EndPut(ctx, m)
+		g := mb.BeginGet(ctx)
+		g.TrimPrefix(ctx, 3)
+		g.TrimSuffix(ctx, 2)
+		got = append([]byte(nil), g.Data()...)
+		mb.EndGet(ctx, g)
+	})
+	r.run(t)
+	if string(got) != "payload" {
+		t.Errorf("got %q, want \"payload\"", got)
+	}
+}
+
+func TestEnqueueMovesWithoutCopy(t *testing.T) {
+	r := newRig(t)
+	a := r.rt.Create("a")
+	b := r.rt.Create("b")
+	var fromB []byte
+	var sameBacking bool
+	r.c.Sched.Fork("w", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := a.BeginPut(ctx, 300) // > cache size: heap buffer
+		m.Write(ctx, 0, bytes.Repeat([]byte("x"), 300))
+		orig := &m.Data()[0]
+		a.EndPut(ctx, m)
+
+		g := a.BeginGet(ctx)
+		a.Enqueue(ctx, g, b)
+
+		got := b.BeginGet(ctx)
+		sameBacking = orig == &got.Data()[0]
+		fromB = append([]byte(nil), got.Data()...)
+		b.EndGet(ctx, got)
+	})
+	r.run(t)
+	if len(fromB) != 300 {
+		t.Fatalf("message lost in Enqueue: %d bytes", len(fromB))
+	}
+	if !sameBacking {
+		t.Error("Enqueue copied the data")
+	}
+	if r.c.Heap.Used() != 2*CachedBufSize {
+		t.Errorf("heap used = %d after EndGet, want only the two cached buffers", r.c.Heap.Used())
+	}
+}
+
+func TestUpcallRunsInWriterContext(t *testing.T) {
+	// Paper §3.3: attaching the server body as a reader upcall converts a
+	// cross-thread call into a local one — no context switch.
+	r := newRig(t)
+	mb := r.rt.Create("server")
+	var served []byte
+	mb.SetUpcall(func(t2 *threads.Thread, box *Mailbox) {
+		ctx := exec.OnCAB(t2)
+		m := box.BeginGetNB(ctx)
+		if m == nil {
+			return
+		}
+		served = append(served, m.Data()[0])
+		box.EndGet(ctx, m)
+	})
+	switches0 := r.c.Sched.Switches()
+	r.c.Sched.Fork("client", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		for i := byte(0); i < 3; i++ {
+			m := mb.BeginPut(ctx, 1)
+			m.Data()[0] = i
+			mb.EndPut(ctx, m)
+		}
+	})
+	r.run(t)
+	if len(served) != 3 {
+		t.Fatalf("served %d of 3", len(served))
+	}
+	// One switch to dispatch the client; the upcalls add none.
+	if sw := r.c.Sched.Switches() - switches0; sw > 1 {
+		t.Errorf("switches = %d, want <= 1 (upcall must not context-switch)", sw)
+	}
+}
+
+func TestHostPutCABGet(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var got []byte
+	r.h.Run("producer", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, r.h)
+		m := mb.BeginPut(ctx, 5)
+		m.Write(ctx, 0, []byte("hi512"))
+		mb.EndPut(ctx, m)
+	})
+	r.c.Sched.Fork("consumer", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginGet(ctx)
+		got = append([]byte(nil), m.Data()...)
+		mb.EndGet(ctx, m)
+	})
+	r.run(t)
+	if string(got) != "hi512" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCABPutHostGetPolling(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var got []byte
+	var when sim.Time
+	r.h.Run("consumer", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, r.h)
+		m := mb.BeginGetPoll(ctx)
+		got = make([]byte, m.Len())
+		m.Read(ctx, 0, got)
+		mb.EndGet(ctx, m)
+		when = th.Now()
+	})
+	r.c.Sched.Fork("producer", threads.SystemPriority, func(th *threads.Thread) {
+		th.Sleep(250 * sim.Microsecond)
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 3)
+		m.Write(ctx, 0, []byte("abc"))
+		mb.EndPut(ctx, m)
+	})
+	r.run(t)
+	if string(got) != "abc" {
+		t.Errorf("got %q", got)
+	}
+	if when < sim.Time(250*sim.Microsecond) {
+		t.Error("host got the message before it was put")
+	}
+}
+
+func TestHostGetBlocking(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var got []byte
+	r.h.Run("server", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, r.h)
+		m := mb.BeginGet(ctx) // blocking wait in the driver
+		got = make([]byte, m.Len())
+		m.Read(ctx, 0, got)
+		mb.EndGet(ctx, m)
+	})
+	r.c.Sched.Fork("producer", threads.SystemPriority, func(th *threads.Thread) {
+		th.Sleep(1 * sim.Millisecond)
+		ctx := exec.OnCAB(th)
+		m := mb.BeginPut(ctx, 2)
+		m.Write(ctx, 0, []byte("ok"))
+		mb.EndPut(ctx, m)
+	})
+	r.run(t)
+	if string(got) != "ok" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestHostRPCImplementation(t *testing.T) {
+	// The RPC-based host implementation must be functionally identical.
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	mb.SetHostRPC(true)
+	var got []byte
+	r.h.Run("producer", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, r.h)
+		m := mb.BeginPut(ctx, 4)
+		m.Write(ctx, 0, []byte("rpc!"))
+		mb.EndPut(ctx, m)
+	})
+	r.c.Sched.Fork("consumer", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		m := mb.BeginGet(ctx)
+		got = append([]byte(nil), m.Data()...)
+		mb.EndGet(ctx, m)
+	})
+	r.run(t)
+	if string(got) != "rpc!" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSharedMemFasterThanRPC(t *testing.T) {
+	// E8 (paper §3.3): the shared-memory implementation is about a factor
+	// of two faster than the RPC-based one for host mailbox operations.
+	elapsed := func(rpc bool) sim.Duration {
+		r := newRig(t)
+		mb := r.rt.Create("box")
+		mb.SetHostRPC(rpc)
+		var total sim.Duration
+		r.h.Run("bench", func(th *threads.Thread) {
+			ctx := exec.OnHost(th, r.h)
+			start := th.Now()
+			for i := 0; i < 50; i++ {
+				m := mb.BeginPut(ctx, 16)
+				mb.EndPut(ctx, m)
+				g := mb.BeginGetPoll(ctx)
+				mb.EndGet(ctx, g)
+			}
+			total = sim.Duration(th.Now() - start)
+		})
+		r.run(t)
+		return total
+	}
+	shared := elapsed(false)
+	rpc := elapsed(true)
+	ratio := float64(rpc) / float64(shared)
+	if ratio < 1.5 || ratio > 4.0 {
+		t.Errorf("RPC/shared ratio = %.2f (shared %v, rpc %v), want ~2x", ratio, shared, rpc)
+	}
+}
+
+func TestMultipleReadersDrainConcurrently(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	var served [2][]byte
+	for w := 0; w < 2; w++ {
+		w := w
+		r.c.Sched.Fork(fmt.Sprintf("worker%d", w), threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			for i := 0; i < 5; i++ {
+				m := mb.BeginGet(ctx)
+				th.Compute(50 * sim.Microsecond) // simulate processing
+				served[w] = append(served[w], m.Data()[0])
+				mb.EndGet(ctx, m)
+			}
+		})
+	}
+	r.c.Sched.Fork("producer", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		for i := byte(0); i < 10; i++ {
+			m := mb.BeginPut(ctx, 1)
+			m.Data()[0] = i
+			mb.EndPut(ctx, m)
+		}
+	})
+	r.run(t)
+	if len(served[0])+len(served[1]) != 10 {
+		t.Fatalf("served %d+%d of 10", len(served[0]), len(served[1]))
+	}
+	if len(served[0]) == 0 || len(served[1]) == 0 {
+		t.Error("work not shared between readers")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r := newRig(t)
+	mb := r.rt.Create("box")
+	got, ok := r.rt.Lookup(mb.ID())
+	if !ok || got != mb {
+		t.Error("Lookup failed")
+	}
+	if _, ok := r.rt.Lookup(9999); ok {
+		t.Error("Lookup of unknown ID succeeded")
+	}
+	if mb.Addr().Node != 1 || mb.Addr().Box != mb.ID() {
+		t.Errorf("Addr = %v", mb.Addr())
+	}
+}

@@ -1,0 +1,502 @@
+// Package threads implements the CAB runtime system's threads package
+// (paper §3.1): forking and joining of threads, mutual exclusion locks,
+// condition variables, and a preemptive, priority-based scheduler in which
+// system threads run at higher priority than application threads and
+// interrupt handlers preempt everything.
+//
+// The package is derived in spirit from the Mach C Threads interface the
+// paper's implementation was based on, but executes in virtual time on the
+// sim kernel: threads charge CPU time explicitly with Compute, and a full
+// context switch costs the paper's measured 20 µs (model.CostModel).
+//
+// One Sched instance models one CPU (a CAB's SPARC, or a host's CPU). All
+// scheduler state is manipulated from kernel context or from the currently
+// running thread, so no Go-level locking is required.
+package threads
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nectar/internal/model"
+	"nectar/internal/sim"
+)
+
+// Priority orders threads for dispatch. Higher numeric value wins.
+type Priority int
+
+const (
+	// AppPriority is for application threads, which may compute for long
+	// stretches and are preempted by everything else (paper §3.1).
+	AppPriority Priority = 1
+	// SystemPriority is for protocol and runtime threads, which are
+	// event-driven: a brief burst of processing, then a wait.
+	SystemPriority Priority = 2
+	// interruptPriority is used internally for interrupt handlers, which
+	// run to completion above all threads and are never nested (§3.1).
+	interruptPriority Priority = 3
+)
+
+type state int
+
+const (
+	stateReady state = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Thread is a single thread of control on one Sched.
+type Thread struct {
+	sched     *Sched
+	name      string
+	prio      Priority
+	proc      *sim.Proc
+	wake      *sim.Signal
+	state     state
+	remaining sim.Duration // unconsumed demand of the current Compute call
+	seq       uint64       // FIFO tie-break within a priority
+	heapIdx   int
+	intr      bool // interrupt pseudo-thread
+	exitC     *Cond
+	exitM     *Mutex
+	cpuTime   sim.Duration // total CPU time consumed (stats)
+	epoch     uint64       // incremented at each Block; guards stale wakeups
+}
+
+// Sched is a preemptive priority scheduler modeling one CPU.
+type Sched struct {
+	k    *sim.Kernel
+	cost *model.CostModel
+	name string
+
+	ready      threadHeap
+	running    *Thread
+	sliceTimer *sim.Timer
+	sliceStart sim.Time
+	switching  bool    // a context switch is in progress (CPU busy, uninterruptible)
+	switchTo   *Thread // the thread being switched to (not in ready, not yet running)
+
+	intrMasked  bool
+	pendingIntr []pendingIntr
+	maskDepth   int
+
+	seq        uint64
+	switches   uint64 // context-switch count (stats)
+	interrupts uint64 // interrupts taken (stats)
+	idleSince  sim.Time
+	busyTime   sim.Duration
+}
+
+type pendingIntr struct {
+	name string
+	fn   func(t *Thread)
+}
+
+// New creates a scheduler for a CPU named name, charging costs from cost.
+func New(k *sim.Kernel, cost *model.CostModel, name string) *Sched {
+	return &Sched{k: k, cost: cost, name: name}
+}
+
+// Kernel returns the sim kernel this scheduler runs on.
+func (s *Sched) Kernel() *sim.Kernel { return s.k }
+
+// Cost returns the scheduler's cost model.
+func (s *Sched) Cost() *model.CostModel { return s.cost }
+
+// Name returns the CPU name.
+func (s *Sched) Name() string { return s.name }
+
+// Switches returns the number of context switches performed so far.
+func (s *Sched) Switches() uint64 { return s.switches }
+
+// Interrupts returns the number of interrupts taken so far.
+func (s *Sched) Interrupts() uint64 { return s.interrupts }
+
+// BusyTime returns the total CPU time consumed by threads and switches.
+func (s *Sched) BusyTime() sim.Duration { return s.busyTime }
+
+// Fork creates and starts a new thread running fn at the given priority.
+// The thread becomes runnable immediately; whether it preempts the caller
+// depends on priorities.
+func (s *Sched) Fork(name string, prio Priority, fn func(t *Thread)) *Thread {
+	if prio >= interruptPriority {
+		panic("threads: priority reserved for interrupts")
+	}
+	return s.fork(name, prio, false, fn)
+}
+
+func (s *Sched) fork(name string, prio Priority, intr bool, fn func(t *Thread)) *Thread {
+	t := &Thread{sched: s, name: name, prio: prio, intr: intr, heapIdx: -1}
+	t.wake = s.k.NewSignal("wake:" + name)
+	t.exitM = NewMutex(s.name + "/" + name + ".exit")
+	t.exitC = NewCond(s, name+".exit")
+	t.proc = s.k.Go(s.name+"/"+name, func(p *sim.Proc) {
+		// Wait to be dispatched for the first time.
+		p.Wait(t.wake)
+		fn(t)
+		t.exit()
+	})
+	t.state = stateReady
+	// The proc start event is queued; thread becomes ready now so that the
+	// scheduler can plan, but the proc only runs once dispatched.
+	s.onReady(t)
+	return t
+}
+
+// RaiseInterrupt delivers a hardware interrupt: fn runs as a handler that
+// preempts any thread. If interrupts are masked, or a handler is already
+// running, the interrupt is pended and delivered later (handlers are not
+// nested, per §3.1). Callable from kernel context (hardware models) or from
+// any thread.
+func (s *Sched) RaiseInterrupt(name string, fn func(t *Thread)) {
+	if s.intrMasked || s.interruptActive() {
+		s.pendingIntr = append(s.pendingIntr, pendingIntr{name, fn})
+		return
+	}
+	s.interrupts++
+	s.fork("intr:"+name, interruptPriority, true, func(t *Thread) {
+		fn(t)
+		// Handler completion: deliver the next pended interrupt, if any.
+		t.Compute(s.cost.InterruptExit)
+	})
+}
+
+// interruptActive reports whether an interrupt handler is running, ready,
+// or mid-context-switch. The switchTo check matters: during the switch
+// the incoming handler is in none of the queues, and missing it would let
+// a newly raised interrupt jump ahead of already-pended ones, reordering
+// frame delivery.
+func (s *Sched) interruptActive() bool {
+	if s.running != nil && s.running.intr {
+		return true
+	}
+	if s.switchTo != nil && s.switchTo.intr {
+		return true
+	}
+	for _, t := range s.ready {
+		if t.intr {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sched) drainPendingIntr() {
+	if s.intrMasked || len(s.pendingIntr) == 0 || s.interruptActive() {
+		return
+	}
+	pi := s.pendingIntr[0]
+	s.pendingIntr = s.pendingIntr[1:]
+	s.RaiseInterrupt(pi.name, pi.fn)
+}
+
+// --- Thread API (called from the thread's own context) ---
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// Sched returns the scheduler this thread runs on.
+func (t *Thread) Sched() *Sched { return t.sched }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.sched.k.Now() }
+
+// Cost returns the cost model (shorthand).
+func (t *Thread) Cost() *model.CostModel { return t.sched.cost }
+
+// IsInterrupt reports whether this is an interrupt handler context.
+func (t *Thread) IsInterrupt() bool { return t.intr }
+
+// CPUTime returns the total CPU time this thread has consumed.
+func (t *Thread) CPUTime() sim.Duration { return t.cpuTime }
+
+// Compute consumes d of CPU time. The thread may be preempted by
+// higher-priority threads or interrupts and resumed; Compute returns only
+// after the full demand has been consumed.
+func (t *Thread) Compute(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := t.sched
+	t.assertRunning("Compute")
+	t.remaining = d
+	if s.preemptible(t) {
+		// A higher-priority thread became ready while we ran in zero time
+		// (e.g. we just woke it): give up the CPU before computing.
+		s.requeue(t)
+		s.startSwitch(s.pop())
+	} else {
+		s.beginSlice(t)
+	}
+	t.proc.Wait(t.wake)
+}
+
+// Block releases the CPU and parks the thread until Unblock is called.
+// reason is reported in deadlock diagnostics. Interrupt handlers must not
+// block (paper §3.3: handlers use the non-blocking operations).
+func (t *Thread) Block(reason string) {
+	s := t.sched
+	t.assertRunning("Block")
+	if t.intr {
+		panic(fmt.Sprintf("threads: interrupt handler %q attempted to block (%s)", t.name, reason))
+	}
+	t.epoch++
+	t.state = stateBlocked
+	s.running = nil
+	s.dispatchNext()
+	t.proc.Wait(t.wake)
+}
+
+// Unblock makes a blocked thread runnable. Callable from any context.
+func (t *Thread) Unblock() {
+	if t.state != stateBlocked {
+		return
+	}
+	t.sched.onReady(t)
+}
+
+// Sleep blocks the thread for d of virtual time, releasing the CPU.
+func (t *Thread) Sleep(d sim.Duration) {
+	s := t.sched
+	epoch := t.epoch + 1 // epoch after Block's increment
+	s.k.After(d, func() {
+		if t.epoch == epoch && t.state == stateBlocked {
+			t.Unblock()
+		}
+	})
+	t.Block("sleep")
+}
+
+// Yield releases the CPU to an equal-or-higher-priority ready thread, if
+// any, charging a context switch; otherwise it continues immediately.
+func (t *Thread) Yield() {
+	s := t.sched
+	t.assertRunning("Yield")
+	if len(s.ready) == 0 || s.ready[0].prio < t.prio {
+		return
+	}
+	t.state = stateReady
+	t.remaining = 0
+	s.running = nil
+	s.enqueue(t)
+	s.dispatchNext()
+	t.proc.Wait(t.wake)
+}
+
+// Join blocks until u terminates.
+func (t *Thread) Join(u *Thread) {
+	u.exitM.Lock(t)
+	for u.state != stateDone {
+		u.exitC.Wait(t, u.exitM)
+	}
+	u.exitM.Unlock(t)
+}
+
+// Done reports whether the thread has terminated.
+func (t *Thread) Done() bool { return t.state == stateDone }
+
+// DisableInterrupts masks interrupt delivery (nestable). The paper's
+// interrupt-time protocol code uses this to protect critical sections.
+func (t *Thread) DisableInterrupts() {
+	t.sched.maskDepth++
+	t.sched.intrMasked = true
+}
+
+// EnableInterrupts unmasks interrupt delivery and delivers pended
+// interrupts.
+func (t *Thread) EnableInterrupts() {
+	s := t.sched
+	if s.maskDepth > 0 {
+		s.maskDepth--
+	}
+	if s.maskDepth == 0 {
+		s.intrMasked = false
+		s.drainPendingIntr()
+	}
+}
+
+func (t *Thread) exit() {
+	s := t.sched
+	t.state = stateDone
+	t.exitC.Broadcast()
+	s.running = nil
+	if t.intr {
+		s.drainPendingIntr()
+	}
+	s.dispatchNext()
+	// Proc returns; kernel reclaims it.
+}
+
+func (t *Thread) assertRunning(op string) {
+	if t.sched.running != t {
+		panic(fmt.Sprintf("threads: %s by %q which is not the running thread", op, t.name))
+	}
+	if t.state != stateRunning {
+		panic(fmt.Sprintf("threads: %s by %q in state %d", op, t.name, t.state))
+	}
+}
+
+// --- Scheduler internals ---
+
+// preemptible reports whether a strictly higher-priority thread is ready.
+func (s *Sched) preemptible(t *Thread) bool {
+	return len(s.ready) > 0 && s.ready[0].prio > t.prio
+}
+
+// onReady makes t runnable and preempts the running thread if warranted.
+func (s *Sched) onReady(t *Thread) {
+	t.state = stateReady
+	s.enqueue(t)
+	switch {
+	case s.switching:
+		// The CPU is busy switching; the decision is re-made in
+		// switchDone, which always picks the highest-priority ready
+		// thread.
+	case s.running == nil:
+		s.dispatchNext()
+	case s.sliceTimer != nil && s.ready[0].prio > s.running.prio:
+		// Preempt the current compute slice.
+		s.preempt()
+	default:
+		// Running thread is in a zero-time window (between Compute
+		// calls) or has equal/higher priority. A zero-time window is
+		// instantaneous: the preemption check happens at its next
+		// Compute or Block.
+	}
+}
+
+// preempt stops the running thread's slice and switches to the best ready
+// thread.
+func (s *Sched) preempt() {
+	t := s.running
+	elapsed := sim.Duration(s.k.Now() - s.sliceStart)
+	t.remaining -= elapsed
+	t.cpuTime += elapsed
+	s.busyTime += elapsed
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	s.sliceTimer.Stop()
+	s.sliceTimer = nil
+	s.requeue(t)
+	s.startSwitch(s.pop())
+}
+
+// requeue puts a preempted running thread back on the ready queue.
+func (s *Sched) requeue(t *Thread) {
+	t.state = stateReady
+	s.running = nil
+	s.enqueue(t)
+}
+
+// dispatchNext switches to the best ready thread, or idles. It is a
+// no-op while a switch is already in progress or a thread is running
+// (exit's drainPendingIntr may have started a dispatch already).
+func (s *Sched) dispatchNext() {
+	if s.switching || s.running != nil {
+		return
+	}
+	if len(s.ready) == 0 {
+		return // CPU idle
+	}
+	s.startSwitch(s.pop())
+}
+
+// startSwitch charges the context-switch (or interrupt entry) cost and then
+// installs t as the running thread.
+func (s *Sched) startSwitch(t *Thread) {
+	var cost sim.Duration
+	if t.intr {
+		cost = s.cost.InterruptEntry
+	} else {
+		cost = s.cost.ContextSwitch
+		s.switches++
+	}
+	s.switching = true
+	s.switchTo = t
+	s.busyTime += cost
+	s.k.After(cost, func() { s.switchDone(t) })
+}
+
+// switchDone completes a context switch. If an even better thread became
+// ready during the switch, the switch is redone (charging again).
+func (s *Sched) switchDone(t *Thread) {
+	s.switching = false
+	s.switchTo = nil
+	if len(s.ready) > 0 && s.ready[0].prio > t.prio {
+		s.enqueue(t)
+		t.state = stateReady
+		s.startSwitch(s.pop())
+		return
+	}
+	s.running = t
+	t.state = stateRunning
+	if t.remaining > 0 {
+		s.beginSlice(t)
+	} else {
+		// Thread resumes zero-time execution (woken from a block, or
+		// first dispatch).
+		t.wake.Signal()
+	}
+}
+
+// beginSlice starts consuming the running thread's compute demand.
+func (s *Sched) beginSlice(t *Thread) {
+	s.sliceStart = s.k.Now()
+	d := t.remaining
+	s.sliceTimer = s.k.After(d, func() { s.sliceDone(t) })
+}
+
+// sliceDone fires when the running thread's demand is fully consumed; the
+// thread keeps the CPU and resumes zero-time execution.
+func (s *Sched) sliceDone(t *Thread) {
+	t.cpuTime += t.remaining
+	s.busyTime += t.remaining
+	t.remaining = 0
+	s.sliceTimer = nil
+	t.wake.Signal()
+}
+
+func (s *Sched) pop() *Thread {
+	return heap.Pop(&s.ready).(*Thread)
+}
+
+// enqueue adds t to the ready queue. The FIFO tie-break within a priority
+// is by enqueue time, so equal-priority threads round-robin at blocking
+// points (and Yield actually yields).
+func (s *Sched) enqueue(t *Thread) {
+	s.seq++
+	t.seq = s.seq
+	heap.Push(&s.ready, t)
+}
+
+// threadHeap orders by priority (desc), then FIFO by seq.
+type threadHeap []*Thread
+
+func (h threadHeap) Len() int { return len(h) }
+func (h threadHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h threadHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *threadHeap) Push(x any) {
+	t := x.(*Thread)
+	t.heapIdx = len(*h)
+	*h = append(*h, t)
+}
+func (h *threadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.heapIdx = -1
+	*h = old[:n-1]
+	return t
+}

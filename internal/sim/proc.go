@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated sequential activity backed by a goroutine. The kernel
+// runs at most one Proc at a time; a Proc runs until it blocks (Sleep, Wait,
+// WaitTimeout) or returns, at which point control returns to the kernel loop.
+//
+// Proc methods that block must only be called from within that Proc's own
+// body function.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{} // kernel -> proc: "you may run"
+	state  string        // human-readable blocking reason, for deadlock reports
+	dead   bool
+}
+
+// Go starts a new Proc running fn. The Proc begins executing at the current
+// virtual time, after already-scheduled events for this instant.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), state: "starting"}
+	k.procs[p] = struct{}{}
+	k.schedule(k.now, func() {
+		go p.body(fn)
+		p.dispatch()
+	})
+	return p
+}
+
+// body is the goroutine entry point: wait to be dispatched, run fn, then
+// hand control back to the kernel forever.
+func (p *Proc) body(fn func(p *Proc)) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.k.Fatalf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+		}
+		p.dead = true
+		delete(p.k.procs, p)
+		p.k.current = nil
+		p.k.handoff <- struct{}{}
+	}()
+	p.state = "running"
+	fn(p)
+	p.state = "finished"
+}
+
+// dispatch transfers control from kernel context to the proc and waits for
+// it to yield back. Must be called from kernel context (inside an event).
+// Dispatching a finished proc is a no-op.
+func (p *Proc) dispatch() {
+	if p.dead {
+		return
+	}
+	p.k.current = p
+	p.resume <- struct{}{}
+	<-p.k.handoff
+}
+
+// checkContext panics unless the calling goroutine is p's own body, which
+// is the only context from which blocking operations are legal.
+func (p *Proc) checkContext(op string) {
+	if p.k.current != p {
+		panic(fmt.Sprintf("sim: %s on proc %q from outside its goroutine", op, p.name))
+	}
+}
+
+// yield transfers control from the proc back to the kernel loop and blocks
+// until the proc is dispatched again.
+func (p *Proc) yield(state string) {
+	if p.k.current != p {
+		panic(fmt.Sprintf("sim: blocking call on proc %q from outside its goroutine", p.name))
+	}
+	p.state = state
+	p.k.current = nil
+	p.k.handoff <- struct{}{}
+	<-p.resume
+	p.k.current = p
+	p.state = "running"
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this proc runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep blocks the proc for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.checkContext("Sleep")
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+Time(d), func() { p.dispatch() })
+	p.yield("sleeping")
+}
+
+// Wait blocks until s is signaled. Multiple procs may wait on one Signal;
+// Signal.Signal wakes exactly one (FIFO), Signal.Broadcast wakes all.
+func (p *Proc) Wait(s *Signal) {
+	p.checkContext("Wait")
+	s.waiters = append(s.waiters, p)
+	p.yield("waiting:" + s.name)
+}
+
+// WaitTimeout blocks until s is signaled or d elapses. It reports true if
+// the signal arrived, false on timeout.
+func (p *Proc) WaitTimeout(s *Signal, d Duration) bool {
+	p.checkContext("WaitTimeout")
+	signaled := false
+	fired := false
+	// Waiter entry that the Signal will invoke.
+	entry := &timedWaiter{p: p}
+	s.timed = append(s.timed, entry)
+	t := p.k.After(d, func() {
+		if entry.done {
+			return
+		}
+		entry.done = true
+		fired = true
+		p.dispatch()
+	})
+	entry.onSignal = func() {
+		if entry.done {
+			return
+		}
+		entry.done = true
+		signaled = true
+		t.Stop()
+		p.dispatch()
+	}
+	p.yield("waiting-timeout:" + s.name)
+	_ = fired
+	return signaled
+}
+
+type timedWaiter struct {
+	p        *Proc
+	onSignal func()
+	done     bool
+}
+
+// Signal is a stateless wake-up point, akin to a condition variable: Wait
+// always blocks; Signal/Broadcast wake current waiters only. Guard it with
+// model-level state, exactly as with a condition variable.
+type Signal struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+	timed   []*timedWaiter
+}
+
+// NewSignal creates a named Signal for procs on k.
+func (k *Kernel) NewSignal(name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Signal wakes one waiter (the longest-waiting first). Wake-ups are
+// scheduled at the current instant, after the caller finishes its event.
+func (s *Signal) Signal() {
+	// Timed waiters are woken before plain waiters only if they registered
+	// earlier; for determinism we simply prefer plain FIFO order: plain
+	// waiters first, then timed. Models that mix both on one Signal and
+	// care about order should use Broadcast.
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.k.schedule(s.k.now, func() { p.dispatch() })
+		return
+	}
+	for len(s.timed) > 0 {
+		w := s.timed[0]
+		s.timed = s.timed[1:]
+		if w.done {
+			continue // already timed out; not a live waiter
+		}
+		s.k.schedule(s.k.now, func() { w.onSignal() })
+		return
+	}
+}
+
+// Broadcast wakes all current waiters in FIFO order.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	timed := s.timed
+	s.timed = nil
+	for _, p := range waiters {
+		p := p
+		s.k.schedule(s.k.now, func() { p.dispatch() })
+	}
+	for _, w := range timed {
+		w := w
+		s.k.schedule(s.k.now, func() { w.onSignal() })
+	}
+}
+
+// HasWaiters reports whether any proc is blocked on s.
+func (s *Signal) HasWaiters() bool { return len(s.waiters) > 0 || len(s.timed) > 0 }

@@ -1,0 +1,283 @@
+// Package sim provides the deterministic discrete-event kernel that all of
+// the Nectar hardware and runtime models execute on.
+//
+// The kernel owns a virtual clock and an event queue ordered by
+// (time, sequence number), which makes every run fully deterministic: two
+// events scheduled for the same instant fire in the order they were
+// scheduled. Simulated activities are either callbacks (At/After, which must
+// not block) or Procs — goroutines that the kernel runs one at a time,
+// SimPy-style, and that may block on virtual time (Sleep) or on Signals.
+//
+// The kernel itself is single-threaded: exactly one goroutine (either the
+// caller of Run or one Proc) is ever executing simulation code. Handoff
+// between the kernel loop and a Proc uses a single unbuffered channel pair,
+// so there is no data race on simulation state and no need for locks in any
+// model code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/1e3)
+}
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.3fus", float64(d)/1e3)
+}
+
+// Micros reports the duration in (fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Seconds reports the duration in (fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros constructs a Duration from fractional microseconds.
+func Micros(us float64) Duration { return Duration(us * 1e3) }
+
+// event is a single entry in the kernel's run queue.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled callback that can be cancelled.
+type Timer struct {
+	k *Kernel
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still pending
+// (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead || t.e.fn == nil {
+		return false
+	}
+	t.e.dead = true
+	return true
+}
+
+// Pending reports whether the timer has not yet fired or been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.e != nil && !t.e.dead && t.e.fn != nil
+}
+
+// When reports the virtual time at which the timer will fire.
+func (t *Timer) When() Time { return t.e.at }
+
+// Kernel is the discrete-event simulation kernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{} // live procs (for deadlock reporting)
+	current *Proc              // proc currently executing, nil = kernel loop
+	handoff chan struct{}      // proc -> kernel: "I have yielded"
+	failure error              // a proc panicked or Fatalf was called
+	running bool
+	tracer  func(name string, at Time)
+}
+
+// SetTracer installs an instrumentation callback invoked by Mark. Pass nil
+// to disable tracing (the default; Mark is then nearly free).
+func (k *Kernel) SetTracer(fn func(name string, at Time)) { k.tracer = fn }
+
+// Mark records a named instant when a tracer is installed. Hardware and
+// runtime layers call it at stage boundaries so experiments (e.g. the
+// Figure 6 latency breakdown) can attribute time without changing code
+// paths.
+func (k *Kernel) Mark(name string) {
+	if k.tracer != nil {
+		k.tracer(name, k.now)
+	}
+}
+
+// Markf is Mark with lazy formatting: the name is only built when a tracer
+// is installed (call sites use it to qualify marks with a node identity).
+func (k *Kernel) Markf(format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer(fmt.Sprintf(format, args...), k.now)
+	}
+}
+
+// NewKernel creates an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs:   make(map[*Proc]struct{}),
+		handoff: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// schedule inserts an event at time at (>= now).
+func (k *Kernel) schedule(at Time, fn func()) *event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, k.now))
+	}
+	k.seq++
+	e := &event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// At schedules fn to run at absolute virtual time at. fn runs in kernel
+// context and must not block.
+func (k *Kernel) At(at Time, fn func()) *Timer {
+	return &Timer{k: k, e: k.schedule(at, fn)}
+}
+
+// After schedules fn to run d from now. fn runs in kernel context and must
+// not block.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{k: k, e: k.schedule(k.now+Time(d), fn)}
+}
+
+// Fatalf aborts the simulation with an error; Run returns it.
+func (k *Kernel) Fatalf(format string, args ...any) {
+	if k.failure == nil {
+		k.failure = fmt.Errorf(format, args...)
+	}
+}
+
+// step pops and executes one event. Returns false when the queue is empty.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		if e.dead {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the horizon (if > 0) is
+// reached. It returns an error if a proc panicked or Fatalf was called.
+// If the queue drains while procs are still blocked, Run returns a deadlock
+// error naming them — models that want an idle-but-alive system (e.g. a
+// server waiting forever) should stop via RunUntil instead.
+func (k *Kernel) Run() error { return k.run(-1) }
+
+// RunUntil executes events with timestamps <= horizon and then advances the
+// clock to horizon. Blocked procs are not a deadlock under RunUntil.
+func (k *Kernel) RunUntil(horizon Time) error { return k.run(horizon) }
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d Duration) error { return k.run(k.now + Time(d)) }
+
+func (k *Kernel) run(horizon Time) error {
+	if k.running {
+		panic("sim: Run re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.failure == nil {
+		if horizon >= 0 && len(k.queue) > 0 {
+			// Peek: stop before executing events past the horizon.
+			if k.queue[0].at > horizon {
+				break
+			}
+		}
+		if !k.step() {
+			break
+		}
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if horizon >= 0 {
+		if k.now < horizon {
+			k.now = horizon
+		}
+		return nil
+	}
+	if len(k.procs) > 0 {
+		return fmt.Errorf("sim: deadlock at %v: blocked procs: %s", k.now, k.procNames())
+	}
+	return nil
+}
+
+func (k *Kernel) procNames() string {
+	var names []string
+	for p := range k.procs {
+		names = append(names, p.name+"@"+p.state)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+
+// PendingEvents returns the number of live events in the queue.
+func (k *Kernel) PendingEvents() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

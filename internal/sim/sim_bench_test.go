@@ -1,0 +1,91 @@
+package sim
+
+// Kernel micro-benchmarks: these measure the REAL (wall-clock) cost of the
+// simulation substrate itself — how many virtual events and thread
+// handoffs the host machine executes per second — so regressions in the
+// kernel's data structures show up in `go test -bench`.
+
+import "testing"
+
+func BenchmarkEventDispatch(b *testing.B) {
+	k := NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Microsecond, func() {})
+		if i%1024 == 1023 {
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTimerChurn(b *testing.B) {
+	// Arm-and-cancel is the protocol-stack hot path (every RMP/TCP
+	// transmission re-arms its retransmission timer).
+	k := NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.After(Second, func() {})
+		t.Stop()
+		if i%4096 == 4095 {
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkProcHandoff(b *testing.B) {
+	// Two procs ping-ponging through signals: one iteration = two kernel
+	// handoffs (goroutine switches). Predicated waits avoid lost signals.
+	k := NewKernel()
+	sA := k.NewSignal("sA")
+	sB := k.NewSignal("sB")
+	turn := 0
+	n := b.N
+	k.Go("a", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			for turn != 0 {
+				p.Wait(sA)
+			}
+			turn = 1
+			sB.Signal()
+		}
+	})
+	k.Go("b", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			for turn != 1 {
+				p.Wait(sB)
+			}
+			turn = 0
+			sA.Signal()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkHeapOrdering(b *testing.B) {
+	// Worst-ish case: interleaved far/near timestamps exercising heap
+	// percolation.
+	k := NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Duration(i%97) * Microsecond
+		k.After(d, func() {})
+		if i%512 == 511 {
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.After(30*Microsecond, func() { got = append(got, 3) })
+	k.After(10*Microsecond, func() { got = append(got, 1) })
+	k.After(20*Microsecond, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+	if k.Now() != Time(30*Microsecond) {
+		t.Errorf("final time = %v, want 30us", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(5*Microsecond, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", got)
+		}
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(10*Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		k.At(Time(5*Microsecond), func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.After(10*Microsecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending before firing")
+	}
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := NewKernel()
+	tm := k.After(1*Microsecond, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	k.After(10*Microsecond, func() { fired = append(fired, 1) })
+	k.After(50*Microsecond, func() { fired = append(fired, 2) })
+	if err := k.RunUntil(Time(20 * Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fired, []int{1}) {
+		t.Errorf("fired = %v, want [1]", fired)
+	}
+	if k.Now() != Time(20*Microsecond) {
+		t.Errorf("now = %v, want 20us (clock advances to horizon)", k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fired, []int{1, 2}) {
+		t.Errorf("fired = %v, want [1 2]", fired)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var stamps []Time
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(7 * Microsecond)
+			stamps = append(stamps, p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(7 * Microsecond), Time(14 * Microsecond), Time(21 * Microsecond)}
+	if !reflect.DeepEqual(stamps, want) {
+		t.Errorf("stamps = %v, want %v", stamps, want)
+	}
+}
+
+func TestSignalWakesFIFO(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("s")
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Go(name, func(p *Proc) {
+			p.Wait(s)
+			order = append(order, name)
+		})
+	}
+	k.Go("waker", func(p *Proc) {
+		p.Sleep(1 * Microsecond)
+		s.Signal()
+		p.Sleep(1 * Microsecond)
+		s.Signal()
+		p.Sleep(1 * Microsecond)
+		s.Signal()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("wake order = %v, want %v", order, want)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("s")
+	woken := 0
+	for i := 0; i < 5; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(s)
+			woken++
+		})
+	}
+	k.Go("caster", func(p *Proc) {
+		p.Sleep(1 * Microsecond)
+		s.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Errorf("woken = %d, want 5", woken)
+	}
+	if s.HasWaiters() {
+		t.Error("signal still has waiters after broadcast")
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("never")
+	var ok bool
+	var when Time
+	k.Go("waiter", func(p *Proc) {
+		ok = p.WaitTimeout(s, 25*Microsecond)
+		when = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("WaitTimeout reported signal, want timeout")
+	}
+	if when != Time(25*Microsecond) {
+		t.Errorf("woke at %v, want 25us", when)
+	}
+}
+
+func TestWaitTimeoutSignaled(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("s")
+	var ok bool
+	var when Time
+	k.Go("waiter", func(p *Proc) {
+		ok = p.WaitTimeout(s, 25*Microsecond)
+		when = p.Now()
+	})
+	k.Go("waker", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		s.Signal()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("WaitTimeout reported timeout, want signal")
+	}
+	if when != Time(5*Microsecond) {
+		t.Errorf("woke at %v, want 5us", when)
+	}
+}
+
+func TestSignalAfterTimeoutNotLost(t *testing.T) {
+	// A timed waiter that already expired must not consume a Signal meant
+	// for a later plain waiter.
+	k := NewKernel()
+	s := k.NewSignal("s")
+	got := false
+	k.Go("timed", func(p *Proc) {
+		p.WaitTimeout(s, 1*Microsecond) // will expire
+	})
+	k.Go("plain", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		p.Wait(s)
+		got = true
+	})
+	k.Go("waker", func(p *Proc) {
+		p.Sleep(3 * Microsecond)
+		s.Signal()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("plain waiter never woke; signal consumed by dead timed waiter")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("orphan")
+	k.Go("stuck", func(p *Proc) { p.Wait(s) })
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("deadlock error %q does not name the blocked proc", err)
+	}
+}
+
+func TestRunUntilToleratesBlockedProcs(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSignal("server")
+	k.Go("server", func(p *Proc) { p.Wait(s) })
+	if err := k.RunUntil(Time(Millisecond)); err != nil {
+		t.Fatalf("RunUntil should tolerate blocked procs: %v", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Go("bomb", func(p *Proc) {
+		p.Sleep(1 * Microsecond)
+		panic("boom")
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic propagation", err)
+	}
+}
+
+func TestFatalfStopsRun(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.After(1*Microsecond, func() { k.Fatalf("stop: %d", 42) })
+	k.After(2*Microsecond, func() { ran = true })
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "stop: 42") {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Error("event after Fatalf still ran")
+	}
+}
+
+func TestProcSpawnsProc(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(1 * Microsecond)
+		k.Go("child", func(c *Proc) {
+			c.Sleep(1 * Microsecond)
+			order = append(order, "child")
+		})
+		p.Sleep(5 * Microsecond)
+		order = append(order, "parent")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"child", "parent"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestPendingEvents(t *testing.T) {
+	k := NewKernel()
+	t1 := k.After(Microsecond, func() {})
+	k.After(2*Microsecond, func() {})
+	if got := k.PendingEvents(); got != 2 {
+		t.Errorf("pending = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := k.PendingEvents(); got != 1 {
+		t.Errorf("pending after stop = %d, want 1", got)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Idle() {
+		t.Error("kernel not idle after Run")
+	}
+}
+
+func TestBlockingFromOutsideProcPanics(t *testing.T) {
+	k := NewKernel()
+	var p *Proc
+	p = k.Go("p", func(self *Proc) { self.Sleep(Microsecond) })
+	k.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sleep from kernel context did not panic")
+			}
+		}()
+		p.Sleep(Microsecond)
+	})
+	_ = k.Run() // panic is recovered inside the event; run may or may not error
+}
+
+// Property: for any set of delays, callbacks fire in nondecreasing time
+// order, and equal times fire in scheduling order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel()
+		type firing struct {
+			at  Time
+			seq int
+		}
+		var fired []firing
+		for i, d := range delays {
+			i := i
+			k.After(Duration(d)*Microsecond, func() {
+				fired = append(fired, firing{k.Now(), i})
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		// Cross-check against a sort of the inputs.
+		var want []Time
+		for _, d := range delays {
+			want = append(want, Time(Duration(d)*Microsecond))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range fired {
+			if fired[i].at != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinism — running the same randomized proc workload twice
+// yields an identical execution trace.
+func TestDeterminismProperty(t *testing.T) {
+	runOnce := func(seed int64) string {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var trace []string
+		s := k.NewSignal("shared")
+		nproc := 3 + rng.Intn(5)
+		for i := 0; i < nproc; i++ {
+			i := i
+			delays := make([]Duration, 5)
+			for j := range delays {
+				delays[j] = Duration(rng.Intn(50)) * Microsecond
+			}
+			k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j, d := range delays {
+					p.Sleep(d)
+					trace = append(trace, fmt.Sprintf("p%d.%d@%v", i, j, p.Now()))
+					if j == 2 {
+						s.Broadcast()
+					}
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(trace, ";")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		a := runOnce(seed)
+		b := runOnce(seed)
+		if a != b {
+			t.Fatalf("seed %d: nondeterministic trace\n a=%s\n b=%s", seed, a, b)
+		}
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Micros(12.5) != 12500*Nanosecond {
+		t.Errorf("Micros(12.5) = %d", Micros(12.5))
+	}
+	if d := 1500 * Nanosecond; d.Micros() != 1.5 {
+		t.Errorf("Micros() = %v", d.Micros())
+	}
+	if Second.Seconds() != 1.0 {
+		t.Errorf("Seconds() = %v", Second.Seconds())
+	}
+	if s := (42 * Microsecond).String(); s != "42.000us" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,22 @@
+package sockets
+
+import (
+	"testing"
+
+	"nectar/internal/proto/tcp"
+	"nectar/internal/rt/exec"
+)
+
+func TestUnconnectedSocketErrors(t *testing.T) {
+	sk := &Socket{}
+	var ctx exec.Context // the error paths never touch the context
+	if err := sk.Send(ctx, []byte("x")); err == nil {
+		t.Error("send on unconnected socket succeeded")
+	}
+	if _, err := sk.Accept(ctx); err == nil {
+		t.Error("accept on non-listening socket succeeded")
+	}
+	if sk.State() != tcp.Closed {
+		t.Errorf("state = %v, want Closed", sk.State())
+	}
+}

@@ -1,0 +1,136 @@
+package nectar
+
+import (
+	"fmt"
+	"testing"
+
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/mailbox"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+// Five nodes, all-pairs RMP traffic: per-peer protocol state must stay
+// independent and every message must arrive exactly once.
+func TestMultiNodeAllPairsRMP(t *testing.T) {
+	cl := NewCluster(nil)
+	const nNodes = 5
+	const perPair = 6
+	var nodes []*Node
+	var sinks []*mailbox.Mailbox
+	for i := 0; i < nNodes; i++ {
+		n := cl.AddNode()
+		nodes = append(nodes, n)
+		sink := n.Mailboxes.Create(fmt.Sprintf("sink%d", i))
+		sink.SetCapacity(1 << 20)
+		sinks = append(sinks, sink)
+	}
+	type key struct{ from, to, seq byte }
+	got := map[key]int{}
+	remaining := nNodes
+	for i := range nodes {
+		i := i
+		nodes[i].CAB.Sched.Fork("drain", threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			for n := 0; n < (nNodes-1)*perPair; n++ {
+				m := sinks[i].BeginGet(ctx)
+				got[key{m.Data()[0], byte(i), m.Data()[1]}]++
+				sinks[i].EndGet(ctx, m)
+			}
+			remaining--
+		})
+	}
+	for i := range nodes {
+		i := i
+		nodes[i].CAB.Sched.Fork("blast", threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			for j := range nodes {
+				if j == i {
+					continue
+				}
+				for s := byte(0); s < perPair; s++ {
+					addr := wire.MailboxAddr{Node: nodes[j].ID, Box: sinks[j].ID()}
+					if st := nodes[i].Transports.RMP.SendBlocking(ctx, addr, 0, []byte{byte(i), s, 0, 0}); st != 1 {
+						cl.K.Fatalf("send %d->%d failed: %d", i, j, st)
+					}
+				}
+			}
+		})
+	}
+	for remaining > 0 {
+		if err := cl.RunFor(50 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Now() > sim.Time(60*sim.Second) {
+			t.Fatalf("all-pairs traffic stalled with %d drains outstanding", remaining)
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		for j := 0; j < nNodes; j++ {
+			if i == j {
+				continue
+			}
+			for s := byte(0); s < perPair; s++ {
+				if c := got[key{byte(i), byte(j), s}]; c != 1 {
+					t.Errorf("message %d->%d #%d delivered %d times", i, j, s, c)
+				}
+			}
+		}
+	}
+}
+
+// Several TCP connections between the same pair of nodes must multiplex
+// over one IP/datalink path without crosstalk.
+func TestTCPConcurrentConnections(t *testing.T) {
+	cl, a, b := twoNodes(t, nil)
+	const nConns = 3
+	results := map[uint16][]byte{}
+	remaining := nConns
+	for i := 0; i < nConns; i++ {
+		port := uint16(8000 + i)
+		ln, err := b.TCP.Listen(port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.CAB.Sched.Fork(fmt.Sprintf("srv%d", i), threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			c := ln.Accept(ctx)
+			for {
+				m := c.Recv(ctx)
+				if m == nil {
+					break
+				}
+				results[port] = append(results[port], m.Data()...)
+				c.RecvDone(ctx, m)
+			}
+			remaining--
+		})
+		a.CAB.Sched.Fork(fmt.Sprintf("cli%d", i), threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			c, err := a.TCP.Connect(ctx, wire.NodeIP(b.ID), port)
+			if err != nil {
+				cl.K.Fatalf("connect %d: %v", port, err)
+			}
+			for r := 0; r < 4; r++ {
+				c.Send(ctx, []byte(fmt.Sprintf("conn%d-msg%d;", port, r)))
+			}
+			c.Close(ctx)
+		})
+	}
+	for remaining > 0 {
+		if err := cl.RunFor(50 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Now() > sim.Time(30*sim.Second) {
+			t.Fatal("connections stalled")
+		}
+	}
+	for i := 0; i < nConns; i++ {
+		port := uint16(8000 + i)
+		want := fmt.Sprintf("conn%d-msg0;conn%d-msg1;conn%d-msg2;conn%d-msg3;", port, port, port, port)
+		if string(results[port]) != want {
+			t.Errorf("port %d: got %q", port, results[port])
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package nectar
+
+import (
+	"bytes"
+	"testing"
+
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+func TestSocketsHostToHost(t *testing.T) {
+	// The §5.2 socket emulation: two host processes talk through the
+	// familiar connect/accept/send/recv API while TCP runs on the CABs.
+	cl, a, b := twoNodes(t, nil)
+	lnSock, err := b.Sockets.Listen(7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received []byte
+	serverDone := false
+	b.Host.Run("server", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, b.Host)
+		conn, err := lnSock.Accept(ctx)
+		if err != nil {
+			cl.K.Fatalf("accept: %v", err)
+		}
+		for {
+			chunk := conn.Recv(ctx)
+			if chunk == nil {
+				break
+			}
+			received = append(received, chunk...)
+		}
+		serverDone = true
+	})
+	payload := bytes.Repeat([]byte("sock"), 3000) // 12 KB, forces segmentation
+	a.Host.Run("client", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, a.Host)
+		conn, err := a.Sockets.Connect(ctx, wire.NodeIP(b.ID), 7777)
+		if err != nil {
+			cl.K.Fatalf("connect: %v", err)
+		}
+		if err := conn.Send(ctx, payload); err != nil {
+			cl.K.Fatalf("send: %v", err)
+		}
+		if err := conn.Close(ctx); err != nil {
+			cl.K.Fatalf("close: %v", err)
+		}
+	})
+	for !serverDone {
+		if err := cl.RunFor(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Now() > sim.Time(10*sim.Second) {
+			t.Fatal("socket transfer stalled")
+		}
+	}
+	if !bytes.Equal(received, payload) {
+		t.Fatalf("received %d bytes, want %d", len(received), len(payload))
+	}
+}
+
+func TestSocketsConnectRefused(t *testing.T) {
+	// With no listener, the peer answers RST and connect fails — well
+	// before the SYN retransmission timeout would expire.
+	cl, a, b := twoNodes(t, nil)
+	var err error
+	var took sim.Duration
+	done := false
+	a.Host.Run("client", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, a.Host)
+		start := th.Now()
+		_, err = a.Sockets.Connect(ctx, wire.NodeIP(b.ID), 9999)
+		took = sim.Duration(th.Now() - start)
+		done = true
+	})
+	for !done {
+		if e := cl.RunFor(10 * sim.Millisecond); e != nil {
+			t.Fatal(e)
+		}
+		if cl.Now() > sim.Time(10*sim.Second) {
+			t.Fatal("connect never returned")
+		}
+	}
+	if err == nil {
+		t.Fatal("connect to a closed port succeeded")
+	}
+	if took > 10*sim.Millisecond {
+		t.Errorf("refusal took %v; RST fast path not working", took)
+	}
+}
+
+func TestSocketsEchoBothDirections(t *testing.T) {
+	cl, a, b := twoNodes(t, nil)
+	lnSock, _ := b.Sockets.Listen(80)
+	b.Host.Run("server", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, b.Host)
+		conn, err := lnSock.Accept(ctx)
+		if err != nil {
+			cl.K.Fatalf("accept: %v", err)
+		}
+		for {
+			chunk := conn.Recv(ctx)
+			if chunk == nil {
+				return
+			}
+			_ = conn.Send(ctx, append([]byte("echo:"), chunk...))
+		}
+	})
+	var got []byte
+	done := false
+	a.Host.Run("client", func(th *threads.Thread) {
+		ctx := exec.OnHost(th, a.Host)
+		conn, err := a.Sockets.Connect(ctx, wire.NodeIP(b.ID), 80)
+		if err != nil {
+			cl.K.Fatalf("connect: %v", err)
+		}
+		_ = conn.Send(ctx, []byte("round-trip"))
+		got = conn.Recv(ctx)
+		done = true
+	})
+	for !done {
+		if err := cl.RunFor(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Now() > sim.Time(10*sim.Second) {
+			t.Fatal("echo stalled")
+		}
+	}
+	if string(got) != "echo:round-trip" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSocketsFromCABTask(t *testing.T) {
+	// The same API works for CAB-resident tasks (no doorbell offload).
+	cl, a, b := twoNodes(t, nil)
+	lnSock, _ := b.Sockets.Listen(80)
+	var got []byte
+	b.CAB.Sched.Fork("server", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		conn, err := lnSock.Accept(ctx)
+		if err != nil {
+			cl.K.Fatalf("accept: %v", err)
+		}
+		got = conn.Recv(ctx)
+	})
+	a.CAB.Sched.Fork("client", threads.SystemPriority, func(th *threads.Thread) {
+		ctx := exec.OnCAB(th)
+		conn, err := a.Sockets.Connect(ctx, wire.NodeIP(b.ID), 80)
+		if err != nil {
+			cl.K.Fatalf("connect: %v", err)
+		}
+		_ = conn.Send(ctx, []byte("cab-side"))
+	})
+	if err := cl.RunFor(500 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cab-side" {
+		t.Fatalf("got %q", got)
+	}
+}
