@@ -57,7 +57,7 @@ func BenchmarkFig6_OneWayDatagram(b *testing.B) {
 // checksum almost as fast as RMP; TCP/IP below both.
 func BenchmarkFig7_CABToCABThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := bench.Fig7(model.Default1990(), []int{8192})
+		curves, _, err := bench.Fig7(model.Default1990(), []int{8192})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func BenchmarkFig7_CABToCABThroughput(b *testing.B) {
 // dominates ... and the throughput doubles when the packet size doubles".
 func BenchmarkFig7_SmallMessages(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := bench.Fig7(model.Default1990(), []int{64, 128, 256})
+		curves, _, err := bench.Fig7(model.Default1990(), []int{64, 128, 256})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func BenchmarkFig7_SmallMessages(b *testing.B) {
 // point. Paper anchors: VME-limited ~30 Mbit/s; TCP ~24-28, RMP ~28.
 func BenchmarkFig8_HostToHostThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := bench.Fig8(model.Default1990(), []int{8192})
+		curves, _, err := bench.Fig8(model.Default1990(), []int{8192})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	nectar-bench [experiment ...]
+//	nectar-bench [-stats] [experiment ...]
+//
+// -stats appends a one-line metrics summary (from the observability
+// registry snapshot) to each experiment that exports one.
 //
 // Experiments: table1, fig6, fig7, fig8, netdev, micro, ablate-ipmode,
 // ablate-upcall, ablate-switching, ablate-rmpwindow, mailbox-impl,
@@ -13,15 +16,21 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"nectar/internal/bench"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 )
 
+var statsFlag = flag.Bool("stats", false, "print metrics-snapshot summaries with each experiment")
+
 func main() {
-	args := os.Args[1:]
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
@@ -52,26 +61,30 @@ func run(name string, cost *model.CostModel) error {
 			return err
 		}
 		fmt.Println(r.Format())
+		printSnaps(r.Metrics)
 	case "fig6":
 		r, err := bench.Fig6(cost)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Format())
+		printSnaps(map[string]*obs.Snapshot{"fig6": r.Metrics})
 	case "fig7":
-		curves, err := bench.Fig7(cost, nil)
+		curves, snaps, err := bench.Fig7(cost, nil)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatCurves("Figure 7: CAB-to-CAB throughput vs message size", curves))
 		fmt.Println("paper anchors: RMP -> 90 Mbit/s at 8KB; doubling region <= 256B; TCP gap ~= checksum cost")
+		printSnaps(snaps)
 	case "fig8":
-		curves, err := bench.Fig8(cost, nil)
+		curves, snaps, err := bench.Fig8(cost, nil)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatCurves("Figure 8: host-to-host throughput vs message size", curves))
 		fmt.Println("paper anchors: VME-limited ~30 Mbit/s bus; TCP ~24, RMP ~28; flattens earlier than Fig 7")
+		printSnaps(snaps)
 	case "netdev":
 		r, err := bench.Netdev(cost)
 		if err != nil {
@@ -124,4 +137,33 @@ func run(name string, cost *model.CostModel) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// printSnaps, under -stats, prints a one-line registry summary per run:
+// the counters that explain each experiment's number.
+func printSnaps(snaps map[string]*obs.Snapshot) {
+	if !*statsFlag || len(snaps) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(snaps))
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("metrics:")
+	for _, k := range keys {
+		s := snaps[k]
+		if s == nil {
+			continue
+		}
+		fmt.Printf("  %-24s fiber=%dB vme=%dw ctxsw=%d mbox=%d/%d tcp.retrans=%d rmp.timeouts=%d\n",
+			k,
+			s.Sum(obs.LayerFiber, "bytes"),
+			s.Sum(obs.LayerVME, "pio_words"),
+			s.Sum(obs.LayerSched, "context_switches"),
+			s.Sum(obs.LayerMailbox, "puts"), s.Sum(obs.LayerMailbox, "gets"),
+			s.Sum(obs.LayerTCP, "retransmits"),
+			s.Sum(obs.LayerRMP, "timeouts"))
+	}
+	fmt.Println()
 }

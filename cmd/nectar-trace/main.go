@@ -1,19 +1,24 @@
-// Command nectar-trace runs a single exchange with the instrumentation
-// tracer installed and prints the annotated virtual-time timeline — the
-// raw material behind the paper's Figure 6 breakdown, for any of the
-// Nectar transports.
+// Command nectar-trace runs a single exchange with the typed trace sink
+// installed and prints three views of the virtual-time record: the event
+// timeline, the span tree, and — when all stage markers are present — a
+// Figure 6-style stage breakdown with the paper's host / host-CAB
+// interface / CAB-to-CAB bucket attribution.
 //
 // Usage:
 //
-//	nectar-trace [-proto datagram|rmp|rrp] [-size N]
+//	nectar-trace [-proto datagram|rmp|rrp] [-size N] [-q]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
+	"strings"
 
 	"nectar"
+	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/threads"
@@ -23,23 +28,28 @@ import (
 func main() {
 	proto := flag.String("proto", "datagram", "transport to trace: datagram | rmp | rrp")
 	size := flag.Int("size", 4, "message size in bytes")
+	quiet := flag.Bool("q", false, "suppress the raw event timeline")
 	flag.Parse()
+	switch *proto {
+	case "datagram", "rmp", "rrp":
+	default:
+		log.Fatalf("unknown -proto %q (want datagram, rmp or rrp)", *proto)
+	}
 
-	cl := nectar.NewCluster(nil)
+	cost := model.Default1990()
+	cl := nectar.NewCluster(&nectar.Config{Cost: cost})
 	a := cl.AddNode()
 	b := cl.AddNode()
 
-	type mark struct {
-		at   sim.Time
-		name string
-	}
-	var marks []mark
+	// Typed trace sink, gated so the boot transient is not recorded.
+	rec := &obs.Recorder{}
 	tracing := false
-	cl.K.SetTracer(func(name string, at sim.Time) {
+	o := obs.Ensure(cl.K)
+	o.SetSink(obs.SinkFunc(func(e obs.Event) {
 		if tracing {
-			marks = append(marks, mark{at, name})
+			rec.Event(e)
 		}
-	})
+	}))
 
 	sink := b.Mailboxes.Create("trace.sink")
 	service := b.Mailboxes.Create("trace.service")
@@ -48,7 +58,7 @@ func main() {
 	payload := make([]byte, *size)
 
 	rxDone := false
-	var end sim.Time
+	var end, rxBegin, readDone, rxEnd sim.Time
 	if *proto == "rrp" {
 		rxDone = true // the sender observes completion itself
 		b.CAB.Sched.Fork("server", threads.SystemPriority, func(t *threads.Thread) {
@@ -61,19 +71,27 @@ func main() {
 		b.Host.Run("receiver", func(t *threads.Thread) {
 			ctx := exec.OnHost(t, b.Host)
 			m := sink.BeginGetPoll(ctx)
+			rxBegin = t.Now()
+			buf := make([]byte, m.Len())
+			m.Read(ctx, 0, buf)
+			t.Compute(cost.HostMessageRead)
+			readDone = t.Now()
 			sink.EndGet(ctx, m)
-			end = t.Now()
+			rxEnd = t.Now()
+			end = rxEnd
 			rxDone = true
 		})
 	}
 
 	done := false
-	var start sim.Time
+	var start, createDone sim.Time
 	a.Host.Run("sender", func(t *threads.Thread) {
 		ctx := exec.OnHost(t, a.Host)
 		t.Sleep(5 * sim.Millisecond) // boot transient
 		tracing = true
 		start = t.Now()
+		t.Compute(cost.HostMessageCreate) // the paper's "host creating the message"
+		createDone = t.Now()
 		switch *proto {
 		case "datagram":
 			a.Transports.Datagram.Send(ctx, addrSink, 0, payload, nil)
@@ -88,8 +106,6 @@ func main() {
 			st.Read(ctx)
 			m := replyBox.BeginGetPoll(ctx)
 			replyBox.EndGet(ctx, m)
-		default:
-			log.Fatalf("unknown -proto %q", *proto)
 		}
 		if t.Now() > end {
 			end = t.Now()
@@ -106,16 +122,179 @@ func main() {
 		}
 	}
 
-	fmt.Printf("trace: %s, %d bytes, node %d -> node %d\n\n", *proto, *size, a.ID, b.ID)
-	fmt.Printf("%12s  %10s  %s\n", "t (us)", "delta", "event")
-	prev := start
-	for _, m := range marks {
-		if m.at > end {
-			break
+	// Keep only events inside the exchange window.
+	events := rec.Events[:0]
+	for _, e := range rec.Events {
+		if e.At <= end {
+			events = append(events, e)
 		}
-		fmt.Printf("%12.3f  %+9.3f  %s\n",
-			float64(m.at-start)/1e3, float64(m.at-prev)/1e3, m.name)
-		prev = m.at
 	}
-	fmt.Printf("\nend-to-end completion: %v\n", sim.Duration(end-start))
+
+	fmt.Printf("trace: %s, %d bytes, node %d -> node %d\n", *proto, *size, a.ID, b.ID)
+	fmt.Printf("end-to-end completion: %v (%d events)\n", sim.Duration(end-start), len(events))
+
+	if !*quiet {
+		fmt.Printf("\n%12s  %10s  event\n", "t (us)", "delta")
+		prev := start
+		for _, e := range events {
+			fmt.Printf("%12.3f  %+9.3f  n%d %-8s %-7s %s%s\n",
+				float64(e.At-start)/1e3, float64(e.At-prev)/1e3,
+				e.Node, e.Layer, e.Kind, e.Name, eventDetail(e))
+			prev = e.At
+		}
+	}
+
+	printSpanTree(events, start)
+	printStages(*proto, events, stageAnchors{
+		start: start, createDone: createDone,
+		rxBegin: rxBegin, readDone: readDone, rxEnd: rxEnd,
+		nodeA: int(a.ID), nodeB: int(b.ID),
+	})
+}
+
+func eventDetail(e obs.Event) string {
+	var sb strings.Builder
+	if e.Arg != "" {
+		sb.WriteString(" " + e.Arg)
+	}
+	if e.Seq != 0 {
+		fmt.Fprintf(&sb, " seq=%d", e.Seq)
+	}
+	if e.Bytes != 0 {
+		fmt.Fprintf(&sb, " len=%d", e.Bytes)
+	}
+	return sb.String()
+}
+
+// printSpanTree reconstructs Begin/End pairs and prints them nested by
+// causal parent.
+func printSpanTree(events []obs.Event, start sim.Time) {
+	type span struct {
+		id, parent obs.SpanID
+		begin, end sim.Time
+		node       int
+		layer      obs.Layer
+		name       string
+		bytes      int
+		children   []obs.SpanID
+	}
+	spans := map[obs.SpanID]*span{}
+	var roots []obs.SpanID
+	for _, e := range events {
+		switch e.Kind {
+		case obs.Begin:
+			spans[e.Span] = &span{id: e.Span, parent: e.Parent, begin: e.At, end: e.At,
+				node: e.Node, layer: e.Layer, name: e.Name, bytes: e.Bytes}
+		case obs.End:
+			if s, ok := spans[e.Span]; ok {
+				s.end = e.At
+			}
+		}
+	}
+	for _, s := range spans {
+		if p, ok := spans[s.parent]; ok && s.parent != 0 {
+			p.children = append(p.children, s.id)
+		} else {
+			roots = append(roots, s.id)
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+	sortIDs := func(ids []obs.SpanID) {
+		sort.Slice(ids, func(i, j int) bool {
+			si, sj := spans[ids[i]], spans[ids[j]]
+			if si.begin != sj.begin {
+				return si.begin < sj.begin
+			}
+			return si.id < sj.id
+		})
+	}
+	fmt.Printf("\nspans:\n")
+	var walk func(id obs.SpanID, depth int)
+	walk = func(id obs.SpanID, depth int) {
+		s := spans[id]
+		detail := ""
+		if s.bytes != 0 {
+			detail = fmt.Sprintf(" len=%d", s.bytes)
+		}
+		fmt.Printf("  %s%8.3fus +%8.3fus  n%d %s.%s%s\n",
+			strings.Repeat("  ", depth), float64(s.begin-start)/1e3,
+			float64(s.end-s.begin)/1e3, s.node, s.layer, s.name, detail)
+		sortIDs(s.children)
+		for _, c := range s.children {
+			walk(c, depth+1)
+		}
+	}
+	sortIDs(roots)
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// stageAnchors carries the workload-side timestamps the typed stream
+// cannot see (pure host compute phases).
+type stageAnchors struct {
+	start, createDone, rxBegin, readDone, rxEnd sim.Time
+	nodeA, nodeB                                int
+}
+
+// printStages reproduces the Figure 6 one-way breakdown from the typed
+// event stream: each stage boundary is the first occurrence of a marker
+// event, and stages are summed into the paper's three buckets.
+func printStages(proto string, events []obs.Event, an stageAnchors) {
+	first := func(node int, layer obs.Layer, name, arg string) (sim.Time, bool) {
+		for _, e := range events {
+			if e.Node == node && e.Layer == layer && e.Name == name &&
+				(arg == "" || strings.HasPrefix(e.Arg, arg)) {
+				return e.At, true
+			}
+		}
+		return 0, false
+	}
+	post, ok1 := first(an.nodeA, obs.LayerHostIF, "post", "")
+	isr, ok2 := first(an.nodeA, obs.LayerHostIF, "cab_isr", "")
+	req, ok3 := first(an.nodeA, obs.LayerMailbox, "get", proto+".send")
+	dltx, ok4 := first(an.nodeA, obs.LayerDatalink, "tx", "")
+	arrive, ok5 := first(an.nodeB, obs.LayerCAB, "rx.arrive", "")
+	dlrx, ok6 := first(an.nodeB, obs.LayerDatalink, "rx", "")
+	deliver, ok7 := first(an.nodeB, obs.Layer(proto), "deliver", "")
+	if proto == "rrp" {
+		// The RRP server answers from the CAB; the one-way breakdown
+		// below does not apply to the round trip.
+		return
+	}
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) || an.rxEnd == 0 {
+		fmt.Printf("\n(stage breakdown unavailable: missing markers)\n")
+		return
+	}
+	us := func(from, to sim.Time) float64 { return sim.Duration(to - from).Micros() }
+	type stage struct {
+		name   string
+		us     float64
+		bucket string
+	}
+	stages := []stage{
+		{"host: create message", us(an.start, an.createDone), "host"},
+		{"host: begin_put/write/end_put", us(an.createDone, post), "interface"},
+		{"host->CAB: doorbell + CAB ISR", us(post, isr), "interface"},
+		{"CAB1: wake " + proto + " thread", us(isr, req), "interface"},
+		{"CAB1: transport + datalink out", us(req, dltx), "cab"},
+		{"wire: fiber + HUB", us(dltx, arrive), "cab"},
+		{"CAB2: start-of-packet + datalink", us(arrive, dlrx), "cab"},
+		{"CAB2: DMA + transport deliver", us(dlrx, deliver), "cab"},
+		{"CAB2->host: signal + poll + begin_get", us(deliver, an.rxBegin), "interface"},
+		{"host: read message", us(an.rxBegin, an.readDone), "host"},
+		{"host: end_get", us(an.readDone, an.rxEnd), "interface"},
+	}
+	total := us(an.start, an.rxEnd)
+	fmt.Printf("\nfigure-6 stage breakdown (one-way, %s):\n", proto)
+	buckets := map[string]float64{}
+	for _, s := range stages {
+		fmt.Printf("  %-40s %8.1f us  [%s]\n", s.name, s.us, s.bucket)
+		buckets[s.bucket] += s.us
+	}
+	fmt.Printf("  %-40s %8.1f us\n", "total", total)
+	fmt.Printf("\nbuckets: host %.0f%%  host-CAB interface %.0f%%  CAB-to-CAB %.0f%%\n",
+		100*buckets["host"]/total, 100*buckets["interface"]/total, 100*buckets["cab"]/total)
 }

@@ -95,7 +95,7 @@ func main() {
 	}
 
 	gotSum := crc32.ChecksumIEEE(received)
-	_, _, _, retrans := a.TCP.Stats()
+	retrans := a.TCP.Stats().Retransmits
 	_, _, crcErr := b.CAB.Stats()
 	fmt.Printf("transferred %d bytes in %v virtual time (%.1f Mbit/s effective)\n",
 		len(received), elapsed, float64(len(received))*8/elapsed.Seconds()/1e6)

@@ -166,7 +166,7 @@ func TestTCPStreamIntegrityUnderRandomFaults(t *testing.T) {
 				t.Fatalf("stream corrupted: %d bytes received, want %d (equal=%v)",
 					len(received), len(payload), bytes.Equal(received, payload))
 			}
-			_, _, _, retrans := a.TCP.Stats()
+			retrans := a.TCP.Stats().Retransmits
 			if retrans == 0 {
 				t.Error("fault injection never triggered a retransmission")
 			}

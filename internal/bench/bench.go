@@ -11,6 +11,7 @@ import (
 
 	"nectar"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/sim"
 )
 
@@ -39,6 +40,12 @@ func drive(cl *nectar.Cluster, done *bool) error {
 		}
 	}
 	return nil
+}
+
+// snapshot exports a cluster's metrics registry at its current virtual
+// time, so every experiment returns the counters behind its numbers.
+func snapshot(cl *nectar.Cluster) *obs.Snapshot {
+	return obs.Ensure(cl.K).Metrics().Snapshot(cl.Now())
 }
 
 // mbps converts bytes over a duration to megabits per second.

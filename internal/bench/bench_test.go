@@ -79,7 +79,7 @@ func TestCalibrationFig7(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep experiment")
 	}
-	curves, err := Fig7(nil, []int{64, 128, 8192})
+	curves, _, err := Fig7(nil, []int{64, 128, 8192})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestCalibrationFig8(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep experiment")
 	}
-	curves, err := Fig8(nil, []int{8192})
+	curves, _, err := Fig8(nil, []int{8192})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/threads"
@@ -22,6 +23,7 @@ type Fig6Stage struct {
 type Fig6Result struct {
 	TotalUS float64
 	Stages  []Fig6Stage
+	Metrics *obs.Snapshot // registry snapshot at the end of the run
 	// Bucket percentages per the paper's attribution.
 	HostPct      float64 // host creating and reading the message
 	InterfacePct float64 // host-CAB interface (both sides)
@@ -104,7 +106,7 @@ func Fig6(cost *model.CostModel) (*Fig6Result, error) {
 		{"host: read message", us(tRxBegin, tReadDone)},
 		{"host: end_get", us(tReadDone, tRxDone)},
 	}
-	res := &Fig6Result{TotalUS: us(tStart, tRxDone), Stages: stages}
+	res := &Fig6Result{TotalUS: us(tStart, tRxDone), Stages: stages, Metrics: snapshot(cl)}
 
 	// The paper's three buckets: message handling on the hosts; the
 	// host-CAB interface on both sides (mailbox ops over the VME bus,

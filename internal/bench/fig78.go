@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/tcp"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -31,31 +32,36 @@ func messagesFor(size int) int {
 // doubles with message size up to ~256 B (per-packet overhead dominated);
 // the TCP-RMP gap is mostly software checksum cost, so TCP w/o checksum
 // is almost as fast as RMP (§6.2).
-func Fig7(cost *model.CostModel, sizes []int) ([]Curve, error) {
+// Snapshots are keyed "<curve>/<size>".
+func Fig7(cost *model.CostModel, sizes []int) ([]Curve, map[string]*obs.Snapshot, error) {
 	if sizes == nil {
 		sizes = Sizes1990
 	}
+	snaps := make(map[string]*obs.Snapshot)
 	rmp := Curve{Name: "RMP"}
 	tcpOn := Curve{Name: "TCP/IP"}
 	tcpOff := Curve{Name: "TCP w/o checksum"}
 	for _, size := range sizes {
-		v, err := rmpThroughputCAB(cost, size)
+		v, sn, err := rmpThroughputCAB(cost, size)
 		if err != nil {
-			return nil, fmt.Errorf("rmp %dB: %w", size, err)
+			return nil, nil, fmt.Errorf("rmp %dB: %w", size, err)
 		}
 		rmp.Points = append(rmp.Points, Point{size, v})
-		v, err = tcpThroughputCAB(cost, size, true)
+		snaps[fmt.Sprintf("%s/%d", rmp.Name, size)] = sn
+		v, sn, err = tcpThroughputCAB(cost, size, true)
 		if err != nil {
-			return nil, fmt.Errorf("tcp %dB: %w", size, err)
+			return nil, nil, fmt.Errorf("tcp %dB: %w", size, err)
 		}
 		tcpOn.Points = append(tcpOn.Points, Point{size, v})
-		v, err = tcpThroughputCAB(cost, size, false)
+		snaps[fmt.Sprintf("%s/%d", tcpOn.Name, size)] = sn
+		v, sn, err = tcpThroughputCAB(cost, size, false)
 		if err != nil {
-			return nil, fmt.Errorf("tcp-nocksum %dB: %w", size, err)
+			return nil, nil, fmt.Errorf("tcp-nocksum %dB: %w", size, err)
 		}
 		tcpOff.Points = append(tcpOff.Points, Point{size, v})
+		snaps[fmt.Sprintf("%s/%d", tcpOff.Name, size)] = sn
 	}
-	return []Curve{tcpOn, tcpOff, rmp}, nil
+	return []Curve{tcpOn, tcpOff, rmp}, snaps, nil
 }
 
 // Fig8 reproduces the paper's Figure 8: throughput between two host
@@ -63,29 +69,33 @@ func Fig7(cost *model.CostModel, sizes []int) ([]Curve, error) {
 // curves are limited by the ~30 Mbit/s VME bus (TCP ~24, RMP ~28), and
 // they flatten earlier than the CAB-to-CAB curves of Figure 7 because the
 // slow bus makes transmission time significant sooner (§6.3).
-func Fig8(cost *model.CostModel, sizes []int) ([]Curve, error) {
+// Snapshots are keyed "<curve>/<size>".
+func Fig8(cost *model.CostModel, sizes []int) ([]Curve, map[string]*obs.Snapshot, error) {
 	if sizes == nil {
 		sizes = Sizes1990
 	}
+	snaps := make(map[string]*obs.Snapshot)
 	rmp := Curve{Name: "RMP"}
 	tcpOn := Curve{Name: "TCP/IP"}
 	for _, size := range sizes {
-		v, err := rmpThroughputHost(cost, size)
+		v, sn, err := rmpThroughputHost(cost, size)
 		if err != nil {
-			return nil, fmt.Errorf("rmp %dB: %w", size, err)
+			return nil, nil, fmt.Errorf("rmp %dB: %w", size, err)
 		}
 		rmp.Points = append(rmp.Points, Point{size, v})
-		v, err = tcpThroughputHost(cost, size)
+		snaps[fmt.Sprintf("%s/%d", rmp.Name, size)] = sn
+		v, sn, err = tcpThroughputHost(cost, size)
 		if err != nil {
-			return nil, fmt.Errorf("tcp %dB: %w", size, err)
+			return nil, nil, fmt.Errorf("tcp %dB: %w", size, err)
 		}
 		tcpOn.Points = append(tcpOn.Points, Point{size, v})
+		snaps[fmt.Sprintf("%s/%d", tcpOn.Name, size)] = sn
 	}
-	return []Curve{tcpOn, rmp}, nil
+	return []Curve{tcpOn, rmp}, snaps, nil
 }
 
 // rmpThroughputCAB streams messages between CAB threads over RMP.
-func rmpThroughputCAB(cost *model.CostModel, size int) (float64, error) {
+func rmpThroughputCAB(cost *model.CostModel, size int) (float64, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	n := messagesFor(size)
 	box := b.Mailboxes.Create("sink")
@@ -114,13 +124,13 @@ func rmpThroughputCAB(cost *model.CostModel, size int) (float64, error) {
 		}
 	})
 	if err := drive(cl, &done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return mbps(n*size, sim.Duration(end-start)), nil
+	return mbps(n*size, sim.Duration(end-start)), snapshot(cl), nil
 }
 
 // tcpThroughputCAB streams messages between CAB threads over TCP.
-func tcpThroughputCAB(cost *model.CostModel, size int, checksum bool) (float64, error) {
+func tcpThroughputCAB(cost *model.CostModel, size int, checksum bool) (float64, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	a.TCP.SetChecksum(checksum)
 	b.TCP.SetChecksum(checksum)
@@ -131,7 +141,7 @@ func tcpThroughputCAB(cost *model.CostModel, size int, checksum bool) (float64, 
 
 	ln, err := b.TCP.Listen(80)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	b.CAB.Sched.Fork("server", threads.SystemPriority, func(t *threads.Thread) {
 		ctx := exec.OnCAB(t)
@@ -161,15 +171,15 @@ func tcpThroughputCAB(cost *model.CostModel, size int, checksum bool) (float64, 
 		}
 	})
 	if err := drive(cl, &done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return mbps(total, sim.Duration(end-start)), nil
+	return mbps(total, sim.Duration(end-start)), snapshot(cl), nil
 }
 
 // rmpThroughputHost streams messages between host processes over RMP
 // (requests and data cross the VME bus into the send-request mailbox; the
 // receiver polls and reads across its own bus).
-func rmpThroughputHost(cost *model.CostModel, size int) (float64, error) {
+func rmpThroughputHost(cost *model.CostModel, size int) (float64, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	n := messagesFor(size)
 	box := b.Mailboxes.Create("sink")
@@ -198,13 +208,13 @@ func rmpThroughputHost(cost *model.CostModel, size int) (float64, error) {
 		}
 	})
 	if err := drive(cl, &done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return mbps(n*size, sim.Duration(end-start)), nil
+	return mbps(n*size, sim.Duration(end-start)), snapshot(cl), nil
 }
 
 // tcpThroughputHost streams messages between host processes over TCP.
-func tcpThroughputHost(cost *model.CostModel, size int) (float64, error) {
+func tcpThroughputHost(cost *model.CostModel, size int) (float64, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	n := messagesFor(size)
 	total := n * size
@@ -215,7 +225,7 @@ func tcpThroughputHost(cost *model.CostModel, size int) (float64, error) {
 	// interfaces run connection setup through the CAB as well).
 	ln, err := b.TCP.Listen(80)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	var connA, connB *tcp.Conn
 	setup := false
@@ -231,10 +241,10 @@ func tcpThroughputHost(cost *model.CostModel, size int) (float64, error) {
 		setup = true
 	})
 	if err := drive(cl, &setup); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if connB == nil {
-		return 0, fmt.Errorf("accept did not complete")
+		return 0, nil, fmt.Errorf("accept did not complete")
 	}
 
 	b.Host.Run("drain", func(t *threads.Thread) {
@@ -262,7 +272,7 @@ func tcpThroughputHost(cost *model.CostModel, size int) (float64, error) {
 		}
 	})
 	if err := drive(cl, &done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return mbps(total, sim.Duration(end-start)), nil
+	return mbps(total, sim.Duration(end-start)), snapshot(cl), nil
 }

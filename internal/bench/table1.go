@@ -5,6 +5,7 @@ import (
 
 	"nectar"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/threads"
@@ -19,9 +20,11 @@ type Table1Row struct {
 }
 
 // Table1Result reproduces the paper's Table 1 (round-trip latency for UDP
-// and the Nectar-specific protocols, §6.1).
+// and the Nectar-specific protocols, §6.1). Metrics holds one registry
+// snapshot per run, keyed "<proto>/host-host" and "<proto>/CAB-CAB".
 type Table1Result struct {
-	Rows []Table1Row
+	Rows    []Table1Row
+	Metrics map[string]*obs.Snapshot
 }
 
 // Table 1 workload parameters: small echo messages, averaged over rounds
@@ -37,27 +40,29 @@ func Table1(cost *model.CostModel) (*Table1Result, error) {
 	if cost == nil {
 		cost = model.Default1990()
 	}
-	res := &Table1Result{}
+	res := &Table1Result{Metrics: make(map[string]*obs.Snapshot)}
 	type runner struct {
 		name string
-		hh   func() (sim.Duration, error)
-		cc   func() (sim.Duration, error)
+		hh   func() (sim.Duration, *obs.Snapshot, error)
+		cc   func() (sim.Duration, *obs.Snapshot, error)
 	}
 	runners := []runner{
-		{"datagram", func() (sim.Duration, error) { return rttDatagram(cost, true) }, func() (sim.Duration, error) { return rttDatagram(cost, false) }},
-		{"reliable (RMP)", func() (sim.Duration, error) { return rttRMP(cost, true) }, func() (sim.Duration, error) { return rttRMP(cost, false) }},
-		{"request-response", func() (sim.Duration, error) { return rttRRP(cost, true) }, func() (sim.Duration, error) { return rttRRP(cost, false) }},
-		{"UDP", func() (sim.Duration, error) { return rttUDP(cost, true) }, func() (sim.Duration, error) { return rttUDP(cost, false) }},
+		{"datagram", func() (sim.Duration, *obs.Snapshot, error) { return rttDatagram(cost, true) }, func() (sim.Duration, *obs.Snapshot, error) { return rttDatagram(cost, false) }},
+		{"reliable (RMP)", func() (sim.Duration, *obs.Snapshot, error) { return rttRMP(cost, true) }, func() (sim.Duration, *obs.Snapshot, error) { return rttRMP(cost, false) }},
+		{"request-response", func() (sim.Duration, *obs.Snapshot, error) { return rttRRP(cost, true) }, func() (sim.Duration, *obs.Snapshot, error) { return rttRRP(cost, false) }},
+		{"UDP", func() (sim.Duration, *obs.Snapshot, error) { return rttUDP(cost, true) }, func() (sim.Duration, *obs.Snapshot, error) { return rttUDP(cost, false) }},
 	}
 	for _, r := range runners {
-		hh, err := r.hh()
+		hh, hhSnap, err := r.hh()
 		if err != nil {
 			return nil, fmt.Errorf("%s host-host: %w", r.name, err)
 		}
-		cc, err := r.cc()
+		cc, ccSnap, err := r.cc()
 		if err != nil {
 			return nil, fmt.Errorf("%s CAB-CAB: %w", r.name, err)
 		}
+		res.Metrics[r.name+"/host-host"] = hhSnap
+		res.Metrics[r.name+"/CAB-CAB"] = ccSnap
 		res.Rows = append(res.Rows, Table1Row{Proto: r.name, HostHostUS: hh.Micros(), CABCABUS: cc.Micros()})
 	}
 	return res, nil
@@ -89,7 +94,7 @@ func (h *echoHarness) client(t *threads.Thread, send func(), recv func()) {
 
 // rttDatagram measures the datagram echo round trip (the paper's 325 µs /
 // 179 µs row).
-func rttDatagram(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
+func rttDatagram(cost *model.CostModel, hostSide bool) (sim.Duration, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	h := &echoHarness{cl: cl}
 	boxA := a.Mailboxes.Create("echo.reply")
@@ -144,13 +149,13 @@ func rttDatagram(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
 		})
 	}
 	if err := drive(cl, &h.done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return h.rtt, nil
+	return h.rtt, snapshot(cl), nil
 }
 
 // rttRMP measures the reliable-message echo round trip.
-func rttRMP(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
+func rttRMP(cost *model.CostModel, hostSide bool) (sim.Duration, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	h := &echoHarness{cl: cl}
 	boxA := a.Mailboxes.Create("echo.reply")
@@ -203,14 +208,14 @@ func rttRMP(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
 		})
 	}
 	if err := drive(cl, &h.done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return h.rtt, nil
+	return h.rtt, snapshot(cl), nil
 }
 
 // rttRRP measures the request-response (RPC transport) round trip — the
 // abstract's "<500 µs" remote procedure call.
-func rttRRP(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
+func rttRRP(cost *model.CostModel, hostSide bool) (sim.Duration, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	h := &echoHarness{cl: cl}
 	service := b.Mailboxes.Create("rpc.service")
@@ -263,22 +268,22 @@ func rttRRP(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
 		})
 	}
 	if err := drive(cl, &h.done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return h.rtt, nil
+	return h.rtt, snapshot(cl), nil
 }
 
 // rttUDP measures the UDP echo round trip.
-func rttUDP(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
+func rttUDP(cost *model.CostModel, hostSide bool) (sim.Duration, *obs.Snapshot, error) {
 	cl, a, b := newCluster(cost, false)
 	h := &echoHarness{cl: cl}
 	sa, err := a.UDP.Bind(1000)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	sb, err := b.UDP.Bind(2000)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	payload := make([]byte, table1MsgSize)
 
@@ -328,9 +333,9 @@ func rttUDP(cost *model.CostModel, hostSide bool) (sim.Duration, error) {
 		})
 	}
 	if err := drive(cl, &h.done); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return h.rtt, nil
+	return h.rtt, snapshot(cl), nil
 }
 
 // Format renders Table 1 with the paper anchors.

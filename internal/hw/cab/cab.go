@@ -16,6 +16,7 @@ import (
 	"nectar/internal/hw/fiber"
 	"nectar/internal/hw/mem"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/threads"
 	"nectar/internal/sim"
@@ -70,6 +71,8 @@ type CAB struct {
 
 	txFrames, rxFrames uint64
 	crcErrors          uint64
+
+	obs *obs.Observer
 }
 
 // New creates a CAB for the given node with default memory geometry.
@@ -86,6 +89,12 @@ func New(k *sim.Kernel, cost *model.CostModel, node wire.NodeID) *CAB {
 		routes: make(map[wire.NodeID][]byte),
 	}
 	c.rxInterrupt = true
+	c.obs = obs.Ensure(k)
+	m := c.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", node)
+	m.Gauge(obs.LayerCAB, "tx_frames", scope, func() uint64 { return c.txFrames })
+	m.Gauge(obs.LayerCAB, "rx_frames", scope, func() uint64 { return c.rxFrames })
+	m.Gauge(obs.LayerCAB, "crc_errors", scope, func() uint64 { return c.crcErrors })
 	return c
 }
 
@@ -195,6 +204,9 @@ func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, p
 	frame[off+2] = byte(crc >> 8)
 	frame[off+3] = byte(crc)
 	c.txFrames++
+	if c.obs.Tracing() {
+		c.obs.InstantSeq(int(c.node), obs.LayerCAB, "tx", 0, len(frame))
+	}
 	c.out.Send(&fiber.Packet{Route: append([]byte(nil), route...), Frame: frame, Circuit: circuit})
 	return nil
 }
@@ -206,6 +218,9 @@ func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, p
 func (c *CAB) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 	c.k.Markf("cab.rx.arrive.%d", c.node)
 	c.rxFrames++
+	if c.obs.Tracing() {
+		c.obs.InstantSeq(int(c.node), obs.LayerCAB, "rx.arrive", 0, len(pkt.Frame))
+	}
 	desc := &RxDesc{Frame: pkt.Frame, End: end, cab: c}
 	headerAt := c.k.Now() + sim.Time(c.cost.FiberTime(1+wire.DatalinkHeaderLen))
 	if headerAt > end {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/sim"
 )
 
@@ -66,6 +67,8 @@ type Link struct {
 	dropped   uint64
 	corrupted uint64
 	bytes     uint64
+
+	obs *obs.Observer
 }
 
 // NewLink creates a fiber link delivering to dst.
@@ -73,7 +76,14 @@ func NewLink(k *sim.Kernel, cost *model.CostModel, name string, dst Endpoint) *L
 	if dst == nil {
 		panic("fiber: link with nil destination")
 	}
-	return &Link{k: k, cost: cost, name: name, dst: dst}
+	l := &Link{k: k, cost: cost, name: name, dst: dst}
+	l.obs = obs.Ensure(k)
+	m := l.obs.Metrics()
+	m.Gauge(obs.LayerFiber, "frames", name, func() uint64 { return l.sent })
+	m.Gauge(obs.LayerFiber, "bytes", name, func() uint64 { return l.bytes })
+	m.Gauge(obs.LayerFiber, "dropped", name, func() uint64 { return l.dropped })
+	m.Gauge(obs.LayerFiber, "corrupted", name, func() uint64 { return l.corrupted })
+	return l
 }
 
 // Name returns the link name.
@@ -107,13 +117,16 @@ func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 			l.dropNext--
 		}
 		l.dropped++
+		l.obs.CapturePacket(l.name, pkt.Frame, true, false)
 		return
 	}
+	corrupted := false
 	if l.corruptNext > 0 || corrupt {
 		if l.corruptNext > 0 {
 			l.corruptNext--
 		}
 		l.corrupted++
+		corrupted = true
 		// Flip a bit mid-frame; the CRC trailer will expose it.
 		if len(pkt.Frame) > 0 {
 			pkt.Frame[len(pkt.Frame)/2] ^= 0x10
@@ -121,6 +134,10 @@ func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 	}
 	l.sent++
 	l.bytes += uint64(pkt.WireLen())
+	l.obs.CapturePacket(l.name, pkt.Frame, false, corrupted)
+	if l.obs.Tracing() {
+		l.obs.InstantArg(0, obs.LayerFiber, "tx", l.name, 0, pkt.WireLen())
+	}
 	l.k.At(start, func() { l.dst.PacketArriving(pkt, end) })
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"nectar/internal/hw/fiber"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/sim"
 )
 
@@ -47,6 +48,9 @@ func New(k *sim.Kernel, cost *model.CostModel, name string, n int) *Hub {
 	for i := range h.circ {
 		h.circ[i] = -1
 	}
+	m := obs.Ensure(k).Metrics()
+	m.Gauge(obs.LayerFiber, "hub_forwarded", name, func() uint64 { return h.stats.forwarded })
+	m.Gauge(obs.LayerFiber, "hub_setup_ops", name, func() uint64 { return h.stats.setupOps })
 	return h
 }
 

@@ -11,6 +11,7 @@ package vme
 
 import (
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/rt/threads"
 	"nectar/internal/sim"
 )
@@ -28,7 +29,11 @@ type Bus struct {
 
 // New creates a bus.
 func New(k *sim.Kernel, cost *model.CostModel, name string) *Bus {
-	return &Bus{k: k, cost: cost, name: name}
+	b := &Bus{k: k, cost: cost, name: name}
+	m := obs.Ensure(k).Metrics()
+	m.Gauge(obs.LayerVME, "pio_words", name, func() uint64 { return b.pioWords })
+	m.Gauge(obs.LayerVME, "dma_bytes", name, func() uint64 { return b.dmaBytes })
+	return b
 }
 
 // Name returns the bus name.

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"nectar/internal/sim"
+)
+
+// metricKey identifies one metric: the layer that owns it, the metric
+// name, and a scope (node or link identity, e.g. "cab1", "host2",
+// "fiber.a-b", or "total").
+type metricKey struct {
+	layer Layer
+	name  string
+	scope string
+}
+
+// Counter is a monotonically increasing per-registry counter. Methods
+// are nil-tolerant and allocation-free.
+type Counter struct{ v uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Histogram accumulates virtual-time durations into log2 buckets.
+// Observe is allocation-free; percentiles are derived at snapshot time.
+type Histogram struct {
+	buckets [65]uint64 // bucket i holds durations with bits.Len64(ns) == i
+	count   uint64
+	sum     sim.Duration
+	min     sim.Duration
+	max     sim.Duration
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bits.Len64(uint64(d))]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile returns an upper bound for the q-quantile (bucket resolution),
+// clamped to the observed [min, max].
+func (h *Histogram) quantile(q float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			// Upper bound of bucket i: 2^i - 1 ns (bucket 0 holds zero).
+			var ub sim.Duration
+			if i > 0 {
+				ub = sim.Duration(uint64(1)<<uint(i) - 1)
+			}
+			if ub < h.min {
+				ub = h.min
+			}
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// HistStats is the exported summary of a Histogram.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	SumUS float64 `json:"sum_us"`
+	MinUS float64 `json:"min_us"`
+	P50US float64 `json:"p50_us"`
+	P99US float64 `json:"p99_us"`
+	MaxUS float64 `json:"max_us"`
+}
+
+// stats summarizes the histogram.
+func (h *Histogram) stats() *HistStats {
+	return &HistStats{
+		Count: h.count,
+		SumUS: h.sum.Micros(),
+		MinUS: h.min.Micros(),
+		P50US: h.quantile(0.50).Micros(),
+		P99US: h.quantile(0.99).Micros(),
+		MaxUS: h.max.Micros(),
+	}
+}
+
+// Registry holds all metrics registered against one kernel's Observer.
+// It is not safe for concurrent use — like everything else in the sim,
+// exactly one goroutine touches it at a time.
+type Registry struct {
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]func() uint64
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]func() uint64),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter. A nil
+// registry returns a nil Counter, whose methods are no-ops.
+func (r *Registry) Counter(layer Layer, name, scope string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{layer, name, scope}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge registers a pull-style gauge sampled at snapshot time. fn must be
+// deterministic and order-independent (e.g. a sum over a map). Later
+// registrations under the same key replace earlier ones.
+func (r *Registry) Gauge(layer Layer, name, scope string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gauges[metricKey{layer, name, scope}] = fn
+}
+
+// Histogram returns (creating on first use) the named histogram. A nil
+// registry returns a nil Histogram, whose Observe is a no-op.
+func (r *Registry) Histogram(layer Layer, name, scope string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{layer, name, scope}
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Entry is one metric in a Snapshot.
+type Entry struct {
+	Layer string     `json:"layer"`
+	Name  string     `json:"name"`
+	Scope string     `json:"scope"`
+	Kind  string     `json:"kind"` // "counter", "gauge", or "histogram"
+	Value uint64     `json:"value"`
+	Hist  *HistStats `json:"hist,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a Registry, sorted by
+// (layer, name, scope) so two identical runs serialize identically.
+type Snapshot struct {
+	AtUS    float64 `json:"at_us"` // virtual time of the snapshot
+	Entries []Entry `json:"metrics"`
+}
+
+// Snapshot samples every counter, gauge, and histogram.
+func (r *Registry) Snapshot(at sim.Time) *Snapshot {
+	s := &Snapshot{AtUS: float64(at) / 1e3}
+	if r == nil {
+		return s
+	}
+	for k, c := range r.counters {
+		s.Entries = append(s.Entries, Entry{string(k.layer), k.name, k.scope, "counter", c.v, nil})
+	}
+	for k, fn := range r.gauges {
+		s.Entries = append(s.Entries, Entry{string(k.layer), k.name, k.scope, "gauge", fn(), nil})
+	}
+	for k, h := range r.hists {
+		s.Entries = append(s.Entries, Entry{string(k.layer), k.name, k.scope, "histogram", 0, h.stats()})
+	}
+	sort.Slice(s.Entries, func(i, j int) bool {
+		a, b := s.Entries[i], s.Entries[j]
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Scope < b.Scope
+	})
+	return s
+}
+
+// Get returns the entry for (layer, name, scope), if present.
+func (s *Snapshot) Get(layer Layer, name, scope string) (Entry, bool) {
+	for _, e := range s.Entries {
+		if e.Layer == string(layer) && e.Name == name && e.Scope == scope {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Value returns the counter/gauge value for (layer, name, scope), 0 if
+// absent.
+func (s *Snapshot) Value(layer Layer, name, scope string) uint64 {
+	e, _ := s.Get(layer, name, scope)
+	return e.Value
+}
+
+// Sum adds the values of every entry with the given layer and name
+// across all scopes (e.g. total mailbox puts across nodes).
+func (s *Snapshot) Sum(layer Layer, name string) uint64 {
+	var n uint64
+	for _, e := range s.Entries {
+		if e.Layer == string(layer) && e.Name == name {
+			n += e.Value
+		}
+	}
+	return n
+}
+
+// JSON renders the snapshot as deterministic, indented JSON.
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // only on unmarshalable types; Snapshot has none
+		panic(err)
+	}
+	return b
+}
+
+// Table renders the snapshot as an aligned text table.
+func (s *Snapshot) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics @ %.3fus\n", s.AtUS)
+	fmt.Fprintf(&b, "  %-9s %-22s %-12s %s\n", "layer", "metric", "scope", "value")
+	for _, e := range s.Entries {
+		if e.Hist != nil {
+			fmt.Fprintf(&b, "  %-9s %-22s %-12s n=%d p50=%.1fus p99=%.1fus max=%.1fus\n",
+				e.Layer, e.Name, e.Scope, e.Hist.Count, e.Hist.P50US, e.Hist.P99US, e.Hist.MaxUS)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-9s %-22s %-12s %d\n", e.Layer, e.Name, e.Scope, e.Value)
+	}
+	return b.String()
+}

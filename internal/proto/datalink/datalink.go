@@ -15,8 +15,11 @@
 package datalink
 
 import (
+	"fmt"
+
 	"nectar/internal/hw/cab"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/mailbox"
@@ -57,6 +60,8 @@ type Layer struct {
 	crcDrops    uint64
 	vetoed      uint64
 	delivered   uint64
+
+	obs *obs.Observer
 }
 
 type rxItem struct {
@@ -80,6 +85,14 @@ func NewLayer(c *cab.CAB, rt *mailbox.Runtime) *Layer {
 		})
 		c.Sched.Fork("datalink-rx", threads.SystemPriority, l.rxThread)
 	}
+	l.obs = obs.Ensure(c.Kernel())
+	m := l.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", c.Node())
+	m.Gauge(obs.LayerDatalink, "delivered", scope, func() uint64 { return l.delivered })
+	m.Gauge(obs.LayerDatalink, "unknown_type", scope, func() uint64 { return l.unknownType })
+	m.Gauge(obs.LayerDatalink, "no_buffer", scope, func() uint64 { return l.noBuffer })
+	m.Gauge(obs.LayerDatalink, "crc_drops", scope, func() uint64 { return l.crcDrops })
+	m.Gauge(obs.LayerDatalink, "vetoed", scope, func() uint64 { return l.vetoed })
 	return l
 }
 
@@ -93,6 +106,13 @@ func (l *Layer) Register(typ uint8, p Protocol) { l.protos[typ] = p }
 func (l *Layer) Send(ctx exec.Context, typ uint8, dst wire.NodeID, payload ...[]byte) error {
 	ctx.Compute(l.cost.DatalinkProcess + l.cost.DMASetup)
 	l.cab.Kernel().Markf("dl.tx.%d", l.cab.Node())
+	if l.obs.Tracing() {
+		n := 0
+		for _, p := range payload {
+			n += len(p)
+		}
+		l.obs.InstantSeq(int(l.cab.Node()), obs.LayerDatalink, "tx", uint64(dst), n)
+	}
 	return l.cab.Transmit(dst, wire.DatalinkHeader{Type: typ}, false, payload...)
 }
 
@@ -119,16 +139,19 @@ func (l *Layer) rxThread(t *threads.Thread) {
 func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 	ctx := exec.OnCAB(t)
 	l.cab.Kernel().Markf("dl.rx.%d", l.cab.Node())
+	span := l.obs.BeginSeq(int(l.cab.Node()), obs.LayerDatalink, "rx", 0, 0, len(d.Frame))
 	ctx.Compute(l.cost.DatalinkProcess)
 
 	var hdr wire.DatalinkHeader
 	if err := hdr.Unmarshal(d.Frame); err != nil {
 		l.crcDrops++ // mangled beyond parsing
+		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
 		return
 	}
 	p, ok := l.protos[hdr.Type]
 	if !ok {
 		l.unknownType++
+		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
 		return
 	}
 	payload := d.Payload()
@@ -137,11 +160,13 @@ func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 		// No buffer: the frame is lost, as when the paper's input pool
 		// overflows; reliable transports recover by retransmission.
 		l.noBuffer++
+		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
 		return
 	}
 	if !p.StartOfData(t, hdr.Src, payload) {
 		l.vetoed++
 		p.InputMailbox().AbortPut(ctx, m)
+		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
 		return
 	}
 	ctx.Compute(l.cost.DMASetup)
@@ -153,10 +178,13 @@ func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 			if !ok {
 				l.crcDrops++
 				p.InputMailbox().AbortPut(ctx2, m)
+				l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
 				return
 			}
 			l.delivered++
+			m.Span = span // protocols parent their delivery spans on the rx span
 			p.EndOfData(t2, hdr.Src, m)
+			l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
 		}
 		if l.cab.RxInterruptMode() {
 			l.cab.Sched.RaiseInterrupt("end-of-data", deliver)

@@ -16,6 +16,7 @@ package ip
 import (
 	"fmt"
 
+	"nectar/internal/obs"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -61,6 +62,9 @@ type Layer struct {
 	inDelivers, inFragments, reassembled, reasmTimeouts uint64
 	badHeader, badChecksum, noProto, ttlExceeded        uint64
 	outPackets, outFragments                            uint64
+
+	obs  *obs.Observer
+	node int
 }
 
 type reasmKey struct {
@@ -85,6 +89,23 @@ func NewLayer(dl *datalink.Layer, rt *mailbox.Runtime) *Layer {
 		reasm:  make(map[reasmKey]*reasmState),
 	}
 	dl.Register(wire.TypeIP, l)
+	l.node = int(rt.CAB().Node())
+	l.obs = obs.Ensure(rt.CAB().Kernel())
+	m := l.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", l.node)
+	for _, g := range []struct {
+		name string
+		v    *uint64
+	}{
+		{"in_delivers", &l.inDelivers}, {"in_fragments", &l.inFragments},
+		{"reassembled", &l.reassembled}, {"reasm_timeouts", &l.reasmTimeouts},
+		{"bad_header", &l.badHeader}, {"bad_checksum", &l.badChecksum},
+		{"no_proto", &l.noProto}, {"out_packets", &l.outPackets},
+		{"out_fragments", &l.outFragments},
+	} {
+		v := g.v
+		m.Gauge(obs.LayerIP, g.name, scope, func() uint64 { return *v })
+	}
 	return l
 }
 
@@ -144,6 +165,9 @@ func (l *Layer) Output(ctx exec.Context, tpl wire.IPv4Header, payload ...[]byte)
 		ctx.Compute(cost.IPHeaderChecksum)
 		tpl.Marshal(hdr)
 		l.outPackets++
+		if l.obs.Tracing() {
+			l.obs.InstantSeq(l.node, obs.LayerIP, "output", uint64(tpl.ID), n)
+		}
 		return l.dl.Send(ctx, wire.TypeIP, node, append([][]byte{hdr}, payload...)...)
 	}
 
@@ -174,6 +198,9 @@ func (l *Layer) Output(ctx exec.Context, tpl wire.IPv4Header, payload ...[]byte)
 		spans := gatherRange(payload, off, end-off)
 		l.outPackets++
 		l.outFragments++
+		if l.obs.Tracing() {
+			l.obs.InstantSeq(l.node, obs.LayerIP, "output.frag", uint64(tpl.ID), end-off)
+		}
 		if err := l.dl.Send(ctx, wire.TypeIP, node, append([][]byte{hdr}, spans...)...); err != nil {
 			return err
 		}
@@ -250,6 +277,9 @@ func (l *Layer) EndOfData(t *threads.Thread, src wire.NodeID, m *mailbox.Msg) {
 	}
 	if h.Flags&uint16(wire.IPFlagMF) != 0 || h.FragOff != 0 {
 		l.inFragments++
+		if l.obs.Tracing() {
+			l.obs.InstantSeq(l.node, obs.LayerIP, "frag.in", uint64(h.ID), m.Len())
+		}
 		l.addFragment(ctx, h, m)
 		return
 	}
@@ -268,6 +298,9 @@ func (l *Layer) deliver(ctx exec.Context, h wire.IPv4Header, m *mailbox.Msg) {
 		return
 	}
 	l.inDelivers++
+	if l.obs.Tracing() {
+		l.obs.InstantSeq(l.node, obs.LayerIP, "deliver", uint64(h.ID), m.Len())
+	}
 	owner := l.boxOf(m)
 	owner.Enqueue(ctx, m, u.InputMailbox())
 }
@@ -354,6 +387,9 @@ func (l *Layer) reassemble(ctx exec.Context, key reasmKey, st *reasmState, last 
 	h.TotalLen = uint16(wire.IPv4HeaderLen + total)
 	h.Marshal(full.Data()[:wire.IPv4HeaderLen])
 	l.reassembled++
+	if l.obs.Tracing() {
+		l.obs.InstantSeq(l.node, obs.LayerIP, "reassembled", uint64(h.ID), total)
+	}
 	l.deliver(ctx, h, full)
 }
 

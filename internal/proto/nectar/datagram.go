@@ -1,6 +1,9 @@
 package nectar
 
 import (
+	"fmt"
+
+	"nectar/internal/obs"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -19,6 +22,9 @@ type Datagram struct {
 	inBox   *mailbox.Mailbox
 
 	sent, delivered, noBox uint64
+
+	obs  *obs.Observer
+	node int
 }
 
 // NewDatagram installs the datagram protocol on a CAB.
@@ -31,6 +37,13 @@ func NewDatagram(dl *datalink.Layer, rt *mailbox.Runtime, _ *syncs.Pool) *Datagr
 	}
 	dl.Register(wire.TypeDatagram, d)
 	rt.CAB().Sched.Fork("datagram-send", threads.SystemPriority, d.sendThread)
+	d.node = int(rt.CAB().Node())
+	d.obs = obs.Ensure(rt.CAB().Kernel())
+	m := d.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", d.node)
+	m.Gauge(obs.LayerDatagram, "sent", scope, func() uint64 { return d.sent })
+	m.Gauge(obs.LayerDatagram, "delivered", scope, func() uint64 { return d.delivered })
+	m.Gauge(obs.LayerDatagram, "no_box", scope, func() uint64 { return d.noBox })
 	return d
 }
 
@@ -60,6 +73,9 @@ func (d *Datagram) SendDirect(ctx exec.Context, dst wire.MailboxAddr, srcBox wir
 	h := wire.NectarHeader{DstBox: dst.Box, SrcBox: srcBox, Flags: wire.FlagData, Len: uint16(len(data))}
 	h.Marshal(hb[:])
 	d.sent++
+	if d.obs.Tracing() {
+		d.obs.InstantSeq(d.node, obs.LayerDatagram, "send", uint64(dst.Box), len(data))
+	}
 	return d.dl.Send(ctx, wire.TypeDatagram, dst.Node, hb[:], data)
 }
 
@@ -116,6 +132,9 @@ func (d *Datagram) EndOfData(t *threads.Thread, src wire.NodeID, m *mailbox.Msg)
 	m.TrimPrefix(ctx, wire.NectarHeaderLen)
 	m.From = wire.MailboxAddr{Node: src, Box: h.SrcBox}
 	d.delivered++
+	if d.obs.Tracing() {
+		d.obs.InstantSeq(d.node, obs.LayerDatagram, "deliver", uint64(h.DstBox), m.Len())
+	}
 	d.inBox.Enqueue(ctx, m, dst)
 	t.Sched().Kernel().Markf("datagram.deliver.%d", d.rt.CAB().Node())
 }

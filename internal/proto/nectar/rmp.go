@@ -3,6 +3,7 @@ package nectar
 import (
 	"fmt"
 
+	"nectar/internal/obs"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -28,6 +29,10 @@ type RMP struct {
 	window  int // max outstanding messages per peer (1 = paper's stop-and-wait)
 
 	sent, acked, retrans, delivered, dups, noBox uint64
+	timeouts                                     *obs.Counter // requests failed after MaxRetries
+
+	obs  *obs.Observer
+	node int
 }
 
 type rmpPeer struct {
@@ -66,6 +71,17 @@ func NewRMP(dl *datalink.Layer, rt *mailbox.Runtime, _ *syncs.Pool) *RMP {
 	}
 	dl.Register(wire.TypeRMP, r)
 	rt.CAB().Sched.Fork("rmp-send", threads.SystemPriority, r.sendThread)
+	r.node = int(rt.CAB().Node())
+	r.obs = obs.Ensure(rt.CAB().Kernel())
+	m := r.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", r.node)
+	m.Gauge(obs.LayerRMP, "sent", scope, func() uint64 { return r.sent })
+	m.Gauge(obs.LayerRMP, "acked", scope, func() uint64 { return r.acked })
+	m.Gauge(obs.LayerRMP, "retransmits", scope, func() uint64 { return r.retrans })
+	m.Gauge(obs.LayerRMP, "delivered", scope, func() uint64 { return r.delivered })
+	m.Gauge(obs.LayerRMP, "dups", scope, func() uint64 { return r.dups })
+	m.Gauge(obs.LayerRMP, "no_box", scope, func() uint64 { return r.noBox })
+	r.timeouts = m.Counter(obs.LayerRMP, "timeouts", scope)
 	return r
 }
 
@@ -175,6 +191,9 @@ func (r *RMP) transmit(ctx exec.Context, p *rmpPeer, req *rmpReq) bool {
 	}
 	h.Marshal(hb[:])
 	r.sent++
+	if r.obs.Tracing() {
+		r.obs.InstantSeq(r.node, obs.LayerRMP, "send", uint64(req.seq), len(req.data))
+	}
 	if err := r.dl.Send(ctx, wire.TypeRMP, req.dst.Node, hb[:], req.data); err != nil {
 		r.completeHead(ctx, p, StatusNoRoute)
 		return false
@@ -204,10 +223,17 @@ func (r *RMP) timeout(ctx exec.Context, p *rmpPeer, req *rmpReq) {
 	head := p.pending[0]
 	head.retries++
 	if head.retries > MaxRetries {
+		r.timeouts.Inc()
+		if r.obs.Tracing() {
+			r.obs.InstantSeq(r.node, obs.LayerRMP, "timeout", uint64(head.seq), len(head.data))
+		}
 		r.completeHead(ctx, p, StatusTimeout)
 		return
 	}
 	r.retrans++
+	if r.obs.Tracing() {
+		r.obs.InstantSeq(r.node, obs.LayerRMP, "rto", uint64(head.seq), len(head.data))
+	}
 	for i := 0; i < p.inFlight; i++ {
 		if !r.transmit(ctx, p, p.pending[i]) {
 			return
@@ -329,6 +355,9 @@ func (r *RMP) EndOfData(t *threads.Thread, src wire.NodeID, m *mailbox.Msg) {
 		m.TrimPrefix(ctx, wire.NectarHeaderLen)
 		m.From = wire.MailboxAddr{Node: src, Box: h.SrcBox}
 		r.delivered++
+		if r.obs.Tracing() {
+			r.obs.InstantSeq(r.node, obs.LayerRMP, "deliver", uint64(h.Seq), m.Len())
+		}
 		r.inBox.Enqueue(ctx, m, dst)
 	default:
 		r.inBox.AbortPut(ctx, m)

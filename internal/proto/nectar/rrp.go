@@ -1,6 +1,9 @@
 package nectar
 
 import (
+	"fmt"
+
+	"nectar/internal/obs"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -26,6 +29,9 @@ type RRP struct {
 	dedup   map[wire.MailboxAddr]*rrpServerEntry
 
 	calls, replies, retrans, dedupHits, noBox uint64
+
+	obs  *obs.Observer
+	node int
 }
 
 // rrpCall is an outstanding client request.
@@ -61,6 +67,15 @@ func NewRRP(dl *datalink.Layer, rt *mailbox.Runtime, _ *syncs.Pool) *RRP {
 	}
 	dl.Register(wire.TypeRRP, r)
 	rt.CAB().Sched.Fork("rrp-send", threads.SystemPriority, r.sendThread)
+	r.node = int(rt.CAB().Node())
+	r.obs = obs.Ensure(rt.CAB().Kernel())
+	m := r.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", r.node)
+	m.Gauge(obs.LayerRRP, "calls", scope, func() uint64 { return r.calls })
+	m.Gauge(obs.LayerRRP, "replies", scope, func() uint64 { return r.replies })
+	m.Gauge(obs.LayerRRP, "retransmits", scope, func() uint64 { return r.retrans })
+	m.Gauge(obs.LayerRRP, "dedup_hits", scope, func() uint64 { return r.dedupHits })
+	m.Gauge(obs.LayerRRP, "no_box", scope, func() uint64 { return r.noBox })
 	return r
 }
 
@@ -156,6 +171,9 @@ func (r *RRP) startCall(ctx exec.Context, c *rrpCall) {
 	c.xid = r.nextXID
 	r.pending[c.xid] = c
 	r.calls++
+	if r.obs.Tracing() {
+		r.obs.InstantSeq(r.node, obs.LayerRRP, "call", uint64(c.xid), len(c.data))
+	}
 	r.transmitReq(ctx, c)
 }
 
@@ -189,6 +207,9 @@ func (r *RRP) timeout(ctx exec.Context, c *rrpCall) {
 		return
 	}
 	r.retrans++
+	if r.obs.Tracing() {
+		r.obs.InstantSeq(r.node, obs.LayerRRP, "rto", uint64(c.xid), len(c.data))
+	}
 	r.transmitReq(ctx, c)
 }
 
@@ -217,6 +238,9 @@ func (r *RRP) sendReply(ctx exec.Context, client wire.MailboxAddr, xid uint32, d
 	e.replyData = append(e.replyData[:0], data...)
 	e.haveReply = true
 	r.replies++
+	if r.obs.Tracing() {
+		r.obs.InstantSeq(r.node, obs.LayerRRP, "reply", uint64(xid), len(data))
+	}
 	r.transmitReply(ctx, client, xid, e.replyData)
 }
 

@@ -24,6 +24,7 @@ package tcp
 import (
 	"fmt"
 
+	"nectar/internal/obs"
 	"nectar/internal/proto/ip"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -118,7 +119,13 @@ type Layer struct {
 
 	checksum bool // software data checksum on/off (Figure 7 ablation)
 
-	segsIn, segsOut, badChecksum, retransmits, drops uint64
+	// Counters live in the observability registry (metric layer "tcp",
+	// scope "cab<N>"); Stats() snapshots them for callers.
+	segsIn, segsOut, badChecksum, retransmits, drops *obs.Counter
+	ackRTT                                           *obs.Histogram // send-to-cumulative-ack latency
+
+	obs  *obs.Observer
+	node int
 }
 
 // NewLayer installs TCP on an IP layer and starts its input, send and
@@ -143,6 +150,16 @@ func NewLayer(l *ip.Layer, rt *mailbox.Runtime) *Layer {
 	rt.CAB().Sched.Fork("tcp-send", threads.SystemPriority, t.sendThread)
 	rt.CAB().Sched.Fork("tcp-timer", threads.SystemPriority, t.timerThread)
 	l.Register(wire.ProtoTCP, t)
+	t.node = int(rt.CAB().Node())
+	t.obs = obs.Ensure(rt.CAB().Kernel())
+	m := t.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", t.node)
+	t.segsIn = m.Counter(obs.LayerTCP, "segs_in", scope)
+	t.segsOut = m.Counter(obs.LayerTCP, "segs_out", scope)
+	t.badChecksum = m.Counter(obs.LayerTCP, "bad_checksum", scope)
+	t.retransmits = m.Counter(obs.LayerTCP, "retransmits", scope)
+	t.drops = m.Counter(obs.LayerTCP, "drops", scope)
+	t.ackRTT = m.Histogram(obs.LayerTCP, "ack_rtt", scope)
 	return t
 }
 
@@ -154,9 +171,26 @@ func (t *Layer) SetChecksum(on bool) { t.checksum = on }
 // InputMailbox implements ip.Upper.
 func (t *Layer) InputMailbox() *mailbox.Mailbox { return t.inBox }
 
-// Stats returns TCP counters.
-func (t *Layer) Stats() (segsIn, segsOut, badCksum, retrans uint64) {
-	return t.segsIn, t.segsOut, t.badChecksum, t.retransmits
+// Stats is a snapshot of a TCP layer's counters. The same values are
+// published through the observability registry (layer "tcp", scope
+// "cab<N>"); this struct is the stable programmatic interface.
+type Stats struct {
+	SegsIn      uint64 // segments accepted by a connection's state machine
+	SegsOut     uint64 // segments transmitted (including RSTs and pure ACKs)
+	BadChecksum uint64 // segments discarded by the software checksum
+	Retransmits uint64 // RTO-driven retransmissions
+	Drops       uint64 // segments dropped (no connection, or out of order)
+}
+
+// Stats returns a snapshot of the TCP counters.
+func (t *Layer) Stats() Stats {
+	return Stats{
+		SegsIn:      t.segsIn.Value(),
+		SegsOut:     t.segsOut.Value(),
+		BadChecksum: t.badChecksum.Value(),
+		Retransmits: t.retransmits.Value(),
+		Drops:       t.drops.Value(),
+	}
 }
 
 // Listener accepts incoming connections on a port.
@@ -230,11 +264,12 @@ type Conn struct {
 
 // txSeg is an unacknowledged transmitted segment.
 type txSeg struct {
-	seq   uint32
-	data  []byte
-	fin   bool
-	owner *mailbox.Msg // send-request message to release when acked
-	last  bool         // final segment drawing on owner
+	seq    uint32
+	data   []byte
+	fin    bool
+	owner  *mailbox.Msg // send-request message to release when acked
+	last   bool         // final segment drawing on owner
+	sentAt sim.Time     // first transmission (for the ack_rtt histogram)
 }
 
 func (t *Layer) newConn(key connKey) *Conn {
@@ -352,7 +387,7 @@ func (c *Conn) sendData(ctx exec.Context, data []byte, owner *mailbox.Msg) {
 		if c.state != Established && c.state != CloseWait {
 			break
 		}
-		seg := &txSeg{seq: c.sndNxt, data: data[off : off+n]}
+		seg := &txSeg{seq: c.sndNxt, data: data[off : off+n], sentAt: c.layer.now()}
 		if off+n == len(data) {
 			seg.owner = owner
 			seg.last = true
@@ -431,7 +466,7 @@ func (c *Conn) Close(ctx exec.Context) {
 		return
 	}
 	c.sentFin = true
-	fin := &txSeg{seq: c.sndNxt, fin: true}
+	fin := &txSeg{seq: c.sndNxt, fin: true, sentAt: c.layer.now()}
 	c.retransQ = append(c.retransQ, fin)
 	c.transmit(ctx, wire.TCPFin|wire.TCPAck, c.sndNxt, nil)
 	c.sndNxt++
@@ -473,9 +508,15 @@ func (c *Conn) transmit(ctx exec.Context, flags uint8, seq uint32, data []byte) 
 		ck := wire.FinishChecksum(sum)
 		hdr[16], hdr[17] = byte(ck>>8), byte(ck)
 	}
-	t.segsOut++
+	t.segsOut.Inc()
+	if t.obs.Tracing() {
+		t.obs.InstantSeq(t.node, obs.LayerTCP, "tx", uint64(seq), len(data))
+	}
 	_ = t.ip.Output(ctx, wire.IPv4Header{Protocol: wire.ProtoTCP, Dst: c.key.rip}, hdr, data)
 }
+
+// now reads the CAB's virtual clock.
+func (t *Layer) now() sim.Time { return t.rt.CAB().Kernel().Now() }
 
 // sendRST answers a stray segment with a reset (RFC 793 rules for the
 // CLOSED state).
@@ -499,7 +540,7 @@ func (t *Layer) sendRST(ctx exec.Context, rip uint32, h wire.TCPHeader) {
 		ck := wire.FinishChecksum(sum)
 		hdr[16], hdr[17] = byte(ck>>8), byte(ck)
 	}
-	t.segsOut++
+	t.segsOut.Inc()
 	_ = t.ip.Output(ctx, wire.IPv4Header{Protocol: wire.ProtoTCP, Dst: rip}, hdr)
 }
 
@@ -574,8 +615,11 @@ func (t *Layer) timerThread(th *threads.Thread) {
 
 		c.mu.Lock(th)
 		if len(c.retransQ) > 0 {
-			t.retransmits++
+			t.retransmits.Inc()
 			seg := c.retransQ[0]
+			if t.obs.Tracing() {
+				t.obs.InstantSeq(t.node, obs.LayerTCP, "rto", uint64(seg.seq), len(seg.data))
+			}
 			switch {
 			case seg.fin:
 				c.transmit(ctx, wire.TCPFin|wire.TCPAck, seg.seq, nil)
@@ -589,7 +633,10 @@ func (t *Layer) timerThread(th *threads.Thread) {
 			c.armRTO()
 		} else if c.state == SynSent || c.state == SynRcvd {
 			// Handshake segments are implicit (not in retransQ).
-			t.retransmits++
+			t.retransmits.Inc()
+			if t.obs.Tracing() {
+				t.obs.InstantSeq(t.node, obs.LayerTCP, "rto", uint64(c.iss), 0)
+			}
 			if c.state == SynSent {
 				c.transmit(ctx, wire.TCPSyn, c.iss, nil)
 			} else {
@@ -629,7 +676,7 @@ func (t *Layer) handleSegment(ctx exec.Context, m *mailbox.Msg) {
 	if t.checksum && h.Checksum != 0 {
 		ctx.Compute(cost.ChecksumTime(len(seg)))
 		if !wire.VerifyTCP(iph.Src, iph.Dst, seg) {
-			t.badChecksum++
+			t.badChecksum.Inc()
 			t.inBox.EndGet(ctx, m)
 			return
 		}
@@ -650,7 +697,7 @@ func (t *Layer) handleSegment(ctx exec.Context, m *mailbox.Msg) {
 		}
 		// No connection and no listener: answer with RST so an active
 		// opener learns "connection refused" instead of timing out.
-		t.drops++
+		t.drops.Inc()
 		if h.Flags&wire.TCPRst == 0 {
 			t.sendRST(ctx, iph.Src, h)
 		}
@@ -681,7 +728,10 @@ func (c *Conn) listenerAccept(ctx exec.Context, ln *Listener, h wire.TCPHeader) 
 // caller holds c.mu and is responsible for EndGet/Enqueue of m.
 func (c *Conn) processSegment(ctx exec.Context, h wire.TCPHeader, payload []byte, m *mailbox.Msg) {
 	t := c.layer
-	t.segsIn++
+	t.segsIn.Inc()
+	if t.obs.Tracing() {
+		t.obs.InstantSeq(t.node, obs.LayerTCP, "rx", uint64(h.Seq), len(payload))
+	}
 	release := true
 	defer func() {
 		if release {
@@ -745,6 +795,9 @@ func (c *Conn) processSegment(ctx exec.Context, h wire.TCPHeader, payload []byte
 				break
 			}
 			c.retransQ = c.retransQ[1:]
+			if s.sentAt != 0 {
+				t.ackRTT.Observe(sim.Duration(t.now() - s.sentAt))
+			}
 			if s.last && s.owner != nil {
 				t.sendBox.EndGet(ctx, s.owner)
 			}
@@ -782,7 +835,7 @@ func (c *Conn) processSegment(ctx exec.Context, h wire.TCPHeader, payload []byte
 			release = false
 			c.transmit(ctx, wire.TCPAck, c.sndNxt, nil)
 		} else {
-			t.drops++
+			t.drops.Inc()
 			c.transmit(ctx, wire.TCPAck, c.sndNxt, nil) // duplicate ack
 			return
 		}

@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"nectar/internal/obs"
+
 	"testing"
 	"testing/quick"
 )
@@ -65,5 +67,31 @@ func TestProtocolConstantsSane(t *testing.T) {
 	}
 	if RTO <= 0 || ConnectTimeout <= RTO {
 		t.Error("timeout ordering broken")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	// Stats must mirror the registry-backed counters field for field.
+	r := obs.NewRegistry()
+	l := &Layer{
+		segsIn:      r.Counter(obs.LayerTCP, "segs_in", "cab1"),
+		segsOut:     r.Counter(obs.LayerTCP, "segs_out", "cab1"),
+		badChecksum: r.Counter(obs.LayerTCP, "bad_checksum", "cab1"),
+		retransmits: r.Counter(obs.LayerTCP, "retransmits", "cab1"),
+		drops:       r.Counter(obs.LayerTCP, "drops", "cab1"),
+	}
+	l.segsIn.Add(3)
+	l.segsOut.Add(5)
+	l.badChecksum.Inc()
+	l.retransmits.Add(2)
+	l.drops.Add(4)
+	got := l.Stats()
+	want := Stats{SegsIn: 3, SegsOut: 5, BadChecksum: 1, Retransmits: 2, Drops: 4}
+	if got != want {
+		t.Errorf("Stats() = %+v, want %+v", got, want)
+	}
+	// The registry sees the same values under the tcp layer.
+	if v := r.Snapshot(0).Value(obs.LayerTCP, "segs_out", "cab1"); v != 5 {
+		t.Errorf("registry segs_out = %d, want 5", v)
 	}
 }

@@ -7,6 +7,7 @@ package udp
 import (
 	"fmt"
 
+	"nectar/internal/obs"
 	"nectar/internal/proto/ip"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -22,6 +23,9 @@ type Layer struct {
 	ports   map[uint16]*Socket
 
 	delivered, badChecksum, noPort uint64
+
+	obs  *obs.Observer
+	node int
 }
 
 // udpSendMeta routes a host send request to its socket.
@@ -49,6 +53,13 @@ func NewLayer(l *ip.Layer, rt *mailbox.Runtime) *Layer {
 	l.Register(wire.ProtoUDP, u)
 	rt.CAB().Sched.Fork("udp-input", threads.SystemPriority, u.inputThread)
 	rt.CAB().Sched.Fork("udp-send", threads.SystemPriority, u.sendThread)
+	u.node = int(rt.CAB().Node())
+	u.obs = obs.Ensure(rt.CAB().Kernel())
+	m := u.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", u.node)
+	m.Gauge(obs.LayerUDP, "delivered", scope, func() uint64 { return u.delivered })
+	m.Gauge(obs.LayerUDP, "bad_checksum", scope, func() uint64 { return u.badChecksum })
+	m.Gauge(obs.LayerUDP, "no_port", scope, func() uint64 { return u.noPort })
 	return u
 }
 
@@ -167,6 +178,9 @@ func (u *Layer) handle(ctx exec.Context, m *mailbox.Msg) {
 	}
 	m.Tag = uint32(h.SrcPort)
 	u.delivered++
+	if u.obs.Tracing() {
+		u.obs.InstantSeq(u.node, obs.LayerUDP, "deliver", uint64(h.DstPort), m.Len())
+	}
 	u.inBox.Enqueue(ctx, m, s.Box)
 }
 

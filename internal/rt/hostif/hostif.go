@@ -17,6 +17,7 @@ import (
 	"nectar/internal/hw/cab"
 	"nectar/internal/hw/host"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/threads"
 	"nectar/internal/sim"
@@ -38,11 +39,17 @@ type IF struct {
 	hostQ []*HostCond // CAB -> host notifications
 
 	conds uint64 // allocated host conditions (naming)
+
+	posts, doorbells, hostIntr uint64
+
+	obs       *obs.Observer
+	doorbellH *obs.Histogram // post-to-dispatch latency of CAB requests
 }
 
 type cabReq struct {
 	name string
 	fn   func(t *threads.Thread)
+	at   sim.Time // when the host posted the request
 }
 
 // New wires the interface for a host and its CAB, registering both
@@ -51,6 +58,13 @@ func New(h *host.Host, c *cab.CAB) *IF {
 	f := &IF{host: h, cab: c, k: h.Kernel(), cost: h.Cost()}
 	c.OnHostDoorbell(f.cabISR)
 	h.OnCABInterrupt(f.hostISR)
+	f.obs = obs.Ensure(f.k)
+	m := f.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", c.Node())
+	m.Gauge(obs.LayerHostIF, "posts", scope, func() uint64 { return f.posts })
+	m.Gauge(obs.LayerHostIF, "doorbells", scope, func() uint64 { return f.doorbells })
+	m.Gauge(obs.LayerHostIF, "host_interrupts", scope, func() uint64 { return f.hostIntr })
+	f.doorbellH = m.Histogram(obs.LayerHostIF, "doorbell_latency", scope)
 	return f
 }
 
@@ -74,17 +88,26 @@ func (f *IF) PostToCAB(ctx exec.Context, name string, fn func(t *threads.Thread)
 	}
 	ctx.Words(2 + 1) // queue element (opcode + parameter) plus doorbell register
 	f.k.Markf("hostif.post.%d", f.cab.Node())
-	f.cabQ = append(f.cabQ, cabReq{name, fn})
+	f.posts++
+	if f.obs.Tracing() {
+		f.obs.InstantArg(int(f.cab.Node()), obs.LayerHostIF, "post", name, 0, 0)
+	}
+	f.cabQ = append(f.cabQ, cabReq{name, fn, f.k.Now()})
 	f.cab.RingFromHost()
 }
 
 // cabISR is the CAB's doorbell handler: drain the CAB signal queue.
 func (f *IF) cabISR(t *threads.Thread) {
 	f.k.Markf("hostif.cabisr.%d", f.cab.Node())
+	f.doorbells++
+	if f.obs.Tracing() {
+		f.obs.Instant(int(f.cab.Node()), obs.LayerHostIF, "cab_isr")
+	}
 	for len(f.cabQ) > 0 {
 		req := f.cabQ[0]
 		f.cabQ = f.cabQ[1:]
 		t.Compute(1 * sim.Microsecond) // dequeue and dispatch
+		f.doorbellH.Observe(sim.Duration(f.k.Now() - req.at))
 		req.fn(t)
 	}
 }
@@ -93,6 +116,10 @@ func (f *IF) cabISR(t *threads.Thread) {
 // signal queue and wake processes waiting on the signaled conditions
 // (paper §3.2 and Figure 4).
 func (f *IF) hostISR(t *threads.Thread) {
+	f.hostIntr++
+	if f.obs.Tracing() {
+		f.obs.Instant(int(f.cab.Node()), obs.LayerHostIF, "host_isr")
+	}
 	t.Compute(f.cost.HostInterrupt)
 	for len(f.hostQ) > 0 {
 		hc := f.hostQ[0]
@@ -134,6 +161,9 @@ func (hc *HostCond) Signal(ctx exec.Context) {
 	ctx.Compute(hc.f.cost.SyncOp)
 	ctx.Words(1)
 	hc.f.k.Markf("hostcond.signal.%d", hc.f.cab.Node())
+	if hc.f.obs.Tracing() {
+		hc.f.obs.InstantArg(int(hc.f.cab.Node()), obs.LayerHostIF, "signal", hc.name, 0, 0)
+	}
 	hc.poll++
 	if len(hc.waiters) == 0 {
 		return

@@ -24,10 +24,12 @@ import (
 	"nectar/internal/hw/cab"
 	"nectar/internal/hw/mem"
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/hostif"
 	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
 )
 
 // CachedBufSize is the size of the per-mailbox cached buffer that avoids
@@ -46,15 +48,35 @@ type Runtime struct {
 	cost   *model.CostModel
 	boxes  map[wire.MailboxID]*Mailbox
 	nextID wire.MailboxID
+
+	obs       *obs.Observer
+	queueWait *obs.Histogram // virtual time messages sit queued before Begin_Get
 }
 
 // NewRuntime creates the mailbox runtime for a CAB.
 func NewRuntime(c *cab.CAB) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		cab:   c,
 		cost:  c.Cost(),
 		boxes: make(map[wire.MailboxID]*Mailbox),
 	}
+	r.obs = obs.Ensure(c.Kernel())
+	m := r.obs.Metrics()
+	scope := fmt.Sprintf("cab%d", c.Node())
+	sum := func(f func(*Mailbox) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, mb := range r.boxes {
+				n += f(mb)
+			}
+			return n
+		}
+	}
+	m.Gauge(obs.LayerMailbox, "puts", scope, sum(func(mb *Mailbox) uint64 { return mb.puts }))
+	m.Gauge(obs.LayerMailbox, "gets", scope, sum(func(mb *Mailbox) uint64 { return mb.gets }))
+	m.Gauge(obs.LayerMailbox, "enqueues", scope, sum(func(mb *Mailbox) uint64 { return mb.enqueues }))
+	r.queueWait = m.Histogram(obs.LayerMailbox, "queue_wait", scope)
+	return r
 }
 
 // AttachHost connects the host interface used for signaling host readers
@@ -141,6 +163,12 @@ type Msg struct {
 	// to its request). On the real CAB this is a one-word CAB-memory
 	// address inside the request; here it is an opaque reference.
 	Meta any
+	// Span is the trace span this message currently belongs to (0 when
+	// tracing is off). Layers handing a message across a queue set it so
+	// the consumer can parent its own spans causally.
+	Span obs.SpanID
+
+	queuedAt sim.Time // when the message entered its current queue
 }
 
 // Data returns the message's current data window (bytes in CAB memory).
@@ -334,6 +362,10 @@ func (mb *Mailbox) deliver(ctx exec.Context, m *Msg) {
 	mb.queued += m.n
 	mb.queue = append(mb.queue, m)
 	mb.puts++
+	m.queuedAt = mb.rt.cab.Kernel().Now()
+	if mb.rt.obs.Tracing() {
+		mb.rt.obs.InstantArg(int(mb.rt.cab.Node()), obs.LayerMailbox, "put", mb.name, uint64(m.Tag), m.n)
+	}
 	mb.signalCAB(ctx, mb.notEmpty)
 	if mb.hcNotEmpty != nil {
 		mb.hcNotEmpty.Signal(ctx)
@@ -400,6 +432,10 @@ func (mb *Mailbox) pop() *Msg {
 	mb.queued -= m.n
 	m.state = stateHeld
 	mb.gets++
+	mb.rt.queueWait.Observe(sim.Duration(mb.rt.cab.Kernel().Now() - m.queuedAt))
+	if mb.rt.obs.Tracing() {
+		mb.rt.obs.InstantArg(int(mb.rt.cab.Node()), obs.LayerMailbox, "get", mb.name, uint64(m.Tag), m.n)
+	}
 	return m
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"nectar/internal/model"
+	"nectar/internal/obs"
 	"nectar/internal/sim"
 )
 
@@ -86,6 +87,8 @@ type Sched struct {
 	interrupts uint64 // interrupts taken (stats)
 	idleSince  sim.Time
 	busyTime   sim.Duration
+
+	obs *obs.Observer
 }
 
 type pendingIntr struct {
@@ -95,7 +98,13 @@ type pendingIntr struct {
 
 // New creates a scheduler for a CPU named name, charging costs from cost.
 func New(k *sim.Kernel, cost *model.CostModel, name string) *Sched {
-	return &Sched{k: k, cost: cost, name: name}
+	s := &Sched{k: k, cost: cost, name: name}
+	s.obs = obs.Ensure(k)
+	m := s.obs.Metrics()
+	m.Gauge(obs.LayerSched, "context_switches", name, func() uint64 { return s.switches })
+	m.Gauge(obs.LayerSched, "interrupts", name, func() uint64 { return s.interrupts })
+	m.Gauge(obs.LayerSched, "busy_ns", name, func() uint64 { return uint64(s.busyTime) })
+	return s
 }
 
 // Kernel returns the sim kernel this scheduler runs on.
@@ -155,6 +164,9 @@ func (s *Sched) RaiseInterrupt(name string, fn func(t *Thread)) {
 		return
 	}
 	s.interrupts++
+	if s.obs.Tracing() {
+		s.obs.InstantArg(0, obs.LayerSched, "interrupt", s.name+"/"+name, 0, 0)
+	}
 	s.fork("intr:"+name, interruptPriority, true, func(t *Thread) {
 		fn(t)
 		// Handler completion: deliver the next pended interrupt, if any.
@@ -412,6 +424,9 @@ func (s *Sched) startSwitch(t *Thread) {
 	} else {
 		cost = s.cost.ContextSwitch
 		s.switches++
+		if s.obs.Tracing() {
+			s.obs.InstantArg(0, obs.LayerSched, "switch", s.name+"/"+t.name, 0, 0)
+		}
 	}
 	s.switching = true
 	s.switchTo = t

@@ -112,8 +112,15 @@ func (t *Timer) Pending() bool {
 	return t != nil && t.e != nil && !t.e.dead && t.e.fn != nil
 }
 
-// When reports the virtual time at which the timer will fire.
-func (t *Timer) When() Time { return t.e.at }
+// When reports the virtual time at which the timer will fire. For a nil,
+// stopped, or already-fired timer it returns the zero Time (use Pending to
+// distinguish a live timer scheduled for t=0).
+func (t *Timer) When() Time {
+	if t == nil || t.e == nil || t.e.dead || t.e.fn == nil {
+		return 0
+	}
+	return t.e.at
+}
 
 // Kernel is the discrete-event simulation kernel.
 type Kernel struct {
@@ -124,9 +131,18 @@ type Kernel struct {
 	current *Proc              // proc currently executing, nil = kernel loop
 	handoff chan struct{}      // proc -> kernel: "I have yielded"
 	failure error              // a proc panicked or Fatalf was called
-	running bool
-	tracer  func(name string, at Time)
+	running  bool
+	tracer   func(name string, at Time)
+	observer any // opaque slot for the observability layer (internal/obs)
 }
+
+// SetObserver attaches an opaque observability object to the kernel. The
+// kernel never inspects it; it exists so layers sharing a kernel can find
+// the same observer without the sim package importing internal/obs.
+func (k *Kernel) SetObserver(o any) { k.observer = o }
+
+// Observer returns the object installed with SetObserver (nil if none).
+func (k *Kernel) Observer() any { return k.observer }
 
 // SetTracer installs an instrumentation callback invoked by Mark. Pass nil
 // to disable tracing (the default; Mark is then nearly free).

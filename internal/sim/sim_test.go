@@ -462,3 +462,43 @@ func TestDurationHelpers(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+func TestTimerWhen(t *testing.T) {
+	k := NewKernel()
+	tm := k.After(10*Microsecond, func() {})
+	if got := tm.When(); got != Time(10*Microsecond) {
+		t.Errorf("When = %v, want 10us", got)
+	}
+
+	// Regression: When on nil, stopped, and fired timers must not panic
+	// and must return the zero Time.
+	var nilTimer *Timer
+	if got := nilTimer.When(); got != 0 {
+		t.Errorf("nil timer When = %v, want 0", got)
+	}
+	tm.Stop()
+	if got := tm.When(); got != 0 {
+		t.Errorf("stopped timer When = %v, want 0", got)
+	}
+	fired := k.After(1*Microsecond, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.When(); got != 0 {
+		t.Errorf("fired timer When = %v, want 0", got)
+	}
+}
+
+func TestObserverSlot(t *testing.T) {
+	k := NewKernel()
+	if k.Observer() != nil {
+		t.Fatal("fresh kernel should have no observer")
+	}
+	type marker struct{ n int }
+	m := &marker{n: 7}
+	k.SetObserver(m)
+	got, ok := k.Observer().(*marker)
+	if !ok || got != m {
+		t.Fatalf("Observer = %v, want %v", k.Observer(), m)
+	}
+}

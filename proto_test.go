@@ -290,7 +290,7 @@ func TestTCPRetransmitOnLoss(t *testing.T) {
 	if string(received) != "lost-then-recovered" {
 		t.Fatalf("received %q", received)
 	}
-	_, _, _, retrans := a.TCP.Stats()
+	retrans := a.TCP.Stats().Retransmits
 	if retrans == 0 {
 		t.Error("no TCP retransmission recorded")
 	}
