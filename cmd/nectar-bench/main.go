@@ -5,28 +5,40 @@
 //
 // Usage:
 //
-//	nectar-bench [-stats] [experiment ...]
+//	nectar-bench [-stats] [-parallel N] [-benchjson path] [experiment ...]
 //
 // -stats appends a one-line metrics summary (from the observability
 // registry snapshot) to each experiment that exports one.
 //
+// -parallel N runs independent sweep points (each its own simulated
+// cluster on a private kernel) on N worker goroutines. Virtual-time
+// results — every number printed to stdout — are byte-identical to a
+// sequential run; only wall clock changes. Wall-clock per experiment is
+// reported on stderr so stdout stays diffable.
+//
 // Experiments: table1, fig6, fig7, fig8, netdev, micro, ablate-ipmode,
 // ablate-upcall, ablate-switching, ablate-rmpwindow, mailbox-impl,
-// all (default).
+// kernel (event-queue benchmark, writes -benchjson), all (default).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"nectar/internal/bench"
 	"nectar/internal/model"
 	"nectar/internal/obs"
 )
 
-var statsFlag = flag.Bool("stats", false, "print metrics-snapshot summaries with each experiment")
+var (
+	statsFlag    = flag.Bool("stats", false, "print metrics-snapshot summaries with each experiment")
+	parallelFlag = flag.Int("parallel", 1, "worker goroutines for independent sweep points (0 = NumCPU)")
+	benchJSON    = flag.String("benchjson", "BENCH_kernel.json", "output path for the kernel experiment's JSON report")
+)
 
 func main() {
 	flag.Parse()
@@ -34,13 +46,19 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+	if *parallelFlag == 0 {
+		*parallelFlag = runtime.NumCPU()
+	}
+	bench.SetParallelism(*parallelFlag)
 	cost := model.Default1990()
 	exit := 0
 	for _, a := range args {
+		start := time.Now()
 		if err := run(a, cost); err != nil {
 			fmt.Fprintf(os.Stderr, "nectar-bench %s: %v\n", a, err)
 			exit = 1
 		}
+		fmt.Fprintf(os.Stderr, "# %s: %.2fs wall (parallel=%d)\n", a, time.Since(start).Seconds(), bench.Parallelism())
 	}
 	os.Exit(exit)
 }
@@ -133,6 +151,27 @@ func run(name string, cost *model.CostModel) error {
 			return err
 		}
 		fmt.Println(r.Format())
+	case "kernel":
+		r := bench.KernelPerf()
+		workers := bench.Parallelism()
+		if workers < 2 {
+			workers = runtime.NumCPU()
+		}
+		// A reduced sweep keeps the smoke run quick while still exercising
+		// the worker pool; the full fig7 -parallel run is the user-facing
+		// path.
+		sweep, err := bench.Fig7WallClock(cost, []int{64, 256, 1024, 4096}, workers)
+		if err != nil {
+			return err
+		}
+		r.Sweep = sweep
+		fmt.Println(r.Format())
+		if *benchJSON != "" {
+			if err := r.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", *benchJSON)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -33,35 +33,52 @@ func messagesFor(size int) int {
 // the TCP-RMP gap is mostly software checksum cost, so TCP w/o checksum
 // is almost as fast as RMP (§6.2).
 // Snapshots are keyed "<curve>/<size>".
+//
+// Each (curve, size) point builds an independent cluster, so the sweep
+// runs on the bench worker pool (SetParallelism); results are assembled
+// in job-index order, making the tables and snapshot keys byte-identical
+// to a sequential run.
 func Fig7(cost *model.CostModel, sizes []int) ([]Curve, map[string]*obs.Snapshot, error) {
 	if sizes == nil {
 		sizes = Sizes1990
 	}
-	snaps := make(map[string]*obs.Snapshot)
-	rmp := Curve{Name: "RMP"}
-	tcpOn := Curve{Name: "TCP/IP"}
-	tcpOff := Curve{Name: "TCP w/o checksum"}
-	for _, size := range sizes {
-		v, sn, err := rmpThroughputCAB(cost, size)
-		if err != nil {
-			return nil, nil, fmt.Errorf("rmp %dB: %w", size, err)
-		}
-		rmp.Points = append(rmp.Points, Point{size, v})
-		snaps[fmt.Sprintf("%s/%d", rmp.Name, size)] = sn
-		v, sn, err = tcpThroughputCAB(cost, size, true)
-		if err != nil {
-			return nil, nil, fmt.Errorf("tcp %dB: %w", size, err)
-		}
-		tcpOn.Points = append(tcpOn.Points, Point{size, v})
-		snaps[fmt.Sprintf("%s/%d", tcpOn.Name, size)] = sn
-		v, sn, err = tcpThroughputCAB(cost, size, false)
-		if err != nil {
-			return nil, nil, fmt.Errorf("tcp-nocksum %dB: %w", size, err)
-		}
-		tcpOff.Points = append(tcpOff.Points, Point{size, v})
-		snaps[fmt.Sprintf("%s/%d", tcpOff.Name, size)] = sn
+	curves := []Curve{{Name: "TCP/IP"}, {Name: "TCP w/o checksum"}, {Name: "RMP"}}
+	runners := []func(*model.CostModel, int) (float64, *obs.Snapshot, error){
+		func(c *model.CostModel, s int) (float64, *obs.Snapshot, error) { return tcpThroughputCAB(c, s, true) },
+		func(c *model.CostModel, s int) (float64, *obs.Snapshot, error) { return tcpThroughputCAB(c, s, false) },
+		rmpThroughputCAB,
 	}
-	return []Curve{tcpOn, tcpOff, rmp}, snaps, nil
+	return sweep(cost, sizes, curves, runners)
+}
+
+// sweep runs every (curve, size) pair as an independent job and assembles
+// curves and snapshots deterministically.
+func sweep(cost *model.CostModel, sizes []int, curves []Curve,
+	runners []func(*model.CostModel, int) (float64, *obs.Snapshot, error)) ([]Curve, map[string]*obs.Snapshot, error) {
+	nS := len(sizes)
+	vals := make([]float64, len(curves)*nS)
+	sns := make([]*obs.Snapshot, len(curves)*nS)
+	err := runJobs(len(vals), func(i int) error {
+		ci, si := i/nS, i%nS
+		v, sn, err := runners[ci](copyCost(cost), sizes[si])
+		if err != nil {
+			return fmt.Errorf("%s %dB: %w", curves[ci].Name, sizes[si], err)
+		}
+		vals[i], sns[i] = v, sn
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	snaps := make(map[string]*obs.Snapshot)
+	for ci := range curves {
+		for si, size := range sizes {
+			i := ci*nS + si
+			curves[ci].Points = append(curves[ci].Points, Point{size, vals[i]})
+			snaps[fmt.Sprintf("%s/%d", curves[ci].Name, size)] = sns[i]
+		}
+	}
+	return curves, snaps, nil
 }
 
 // Fig8 reproduces the paper's Figure 8: throughput between two host
@@ -69,29 +86,18 @@ func Fig7(cost *model.CostModel, sizes []int) ([]Curve, map[string]*obs.Snapshot
 // curves are limited by the ~30 Mbit/s VME bus (TCP ~24, RMP ~28), and
 // they flatten earlier than the CAB-to-CAB curves of Figure 7 because the
 // slow bus makes transmission time significant sooner (§6.3).
-// Snapshots are keyed "<curve>/<size>".
+// Snapshots are keyed "<curve>/<size>". Sweep points run on the bench
+// worker pool like Fig7's.
 func Fig8(cost *model.CostModel, sizes []int) ([]Curve, map[string]*obs.Snapshot, error) {
 	if sizes == nil {
 		sizes = Sizes1990
 	}
-	snaps := make(map[string]*obs.Snapshot)
-	rmp := Curve{Name: "RMP"}
-	tcpOn := Curve{Name: "TCP/IP"}
-	for _, size := range sizes {
-		v, sn, err := rmpThroughputHost(cost, size)
-		if err != nil {
-			return nil, nil, fmt.Errorf("rmp %dB: %w", size, err)
-		}
-		rmp.Points = append(rmp.Points, Point{size, v})
-		snaps[fmt.Sprintf("%s/%d", rmp.Name, size)] = sn
-		v, sn, err = tcpThroughputHost(cost, size)
-		if err != nil {
-			return nil, nil, fmt.Errorf("tcp %dB: %w", size, err)
-		}
-		tcpOn.Points = append(tcpOn.Points, Point{size, v})
-		snaps[fmt.Sprintf("%s/%d", tcpOn.Name, size)] = sn
+	curves := []Curve{{Name: "TCP/IP"}, {Name: "RMP"}}
+	runners := []func(*model.CostModel, int) (float64, *obs.Snapshot, error){
+		tcpThroughputHost,
+		rmpThroughputHost,
 	}
-	return []Curve{tcpOn, rmp}, snaps, nil
+	return sweep(cost, sizes, curves, runners)
 }
 
 // rmpThroughputCAB streams messages between CAB threads over RMP.

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nectar/internal/model"
+	"nectar/internal/sim"
+)
+
+// Kernel performance report (BENCH_kernel.json): real wall-clock cost of
+// the simulation substrate, measured in-process with testing.Benchmark.
+// Two implementations are compared: the current pooled 4-ary heap event
+// queue (sim.Kernel) and the pre-overhaul boxed container/heap queue kept
+// as sim.BaselineQueue, so the speedup claim stays reproducible from any
+// checkout.
+
+// QueueBench is one benchmark result for one event-queue implementation.
+type QueueBench struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// SweepReport compares sequential vs parallel wall clock for one figure
+// sweep, with identical-output verification.
+type SweepReport struct {
+	Experiment        string  `json:"experiment"`
+	Points            int     `json:"points"`
+	Workers           int     `json:"workers"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	Identical         bool    `json:"identical_output"`
+}
+
+// KernelPerfReport is the schema of BENCH_kernel.json.
+type KernelPerfReport struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// dispatch: one schedule→fire per event.
+	Dispatch         QueueBench `json:"dispatch"`
+	DispatchBaseline QueueBench `json:"dispatch_baseline"`
+	// fire+stop cycle: one fired timer plus one armed-and-cancelled timer
+	// per op — the protocol stack's steady-state mix.
+	FireStop         QueueBench `json:"schedule_fire_stop"`
+	FireStopBaseline QueueBench `json:"schedule_fire_stop_baseline"`
+
+	DispatchSpeedup float64 `json:"dispatch_speedup"`
+	FireStopSpeedup float64 `json:"schedule_fire_stop_speedup"`
+
+	Sweep *SweepReport `json:"sweep,omitempty"`
+}
+
+func toQueueBench(r testing.BenchmarkResult, eventsPerOp float64) QueueBench {
+	if r.N == 0 {
+		return QueueBench{}
+	}
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	ns := nsPerOp / eventsPerOp
+	q := QueueBench{NsPerEvent: ns, AllocsPerEvent: float64(r.AllocsPerOp()) / eventsPerOp,
+		BytesPerEvent: float64(r.AllocedBytesPerOp()) / eventsPerOp}
+	if ns > 0 {
+		q.EventsPerSec = 1e9 / ns
+	}
+	return q
+}
+
+// KernelPerf benchmarks both event-queue implementations in-process.
+func KernelPerf() *KernelPerfReport {
+	fn := func() {}
+
+	dispatch := testing.Benchmark(func(b *testing.B) {
+		k := sim.NewKernel()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.After(sim.Microsecond, fn)
+			if i%1024 == 1023 {
+				if err := k.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	dispatchBase := testing.Benchmark(func(b *testing.B) {
+		var q sim.BaselineQueue
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.After(sim.Microsecond, fn)
+			if i%1024 == 1023 {
+				q.Drain()
+			}
+		}
+		q.Drain()
+	})
+	fireStop := testing.Benchmark(func(b *testing.B) {
+		k := sim.NewKernel()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.After(sim.Microsecond, fn)
+			t := k.After(sim.Second, fn)
+			t.Stop()
+			if i%1024 == 1023 {
+				if err := k.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	fireStopBase := testing.Benchmark(func(b *testing.B) {
+		var q sim.BaselineQueue
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.After(sim.Microsecond, fn)
+			t := q.After(sim.Second, fn)
+			t.Stop()
+			if i%1024 == 1023 {
+				q.Drain()
+			}
+		}
+		q.Drain()
+	})
+
+	r := &KernelPerfReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		// dispatch = 1 event/op; fire+stop = 2 events/op (one fired, one
+		// armed and cancelled).
+		Dispatch:         toQueueBench(dispatch, 1),
+		DispatchBaseline: toQueueBench(dispatchBase, 1),
+		FireStop:         toQueueBench(fireStop, 2),
+		FireStopBaseline: toQueueBench(fireStopBase, 2),
+	}
+	if r.Dispatch.NsPerEvent > 0 {
+		r.DispatchSpeedup = r.DispatchBaseline.NsPerEvent / r.Dispatch.NsPerEvent
+	}
+	if r.FireStop.NsPerEvent > 0 {
+		r.FireStopSpeedup = r.FireStopBaseline.NsPerEvent / r.FireStop.NsPerEvent
+	}
+	return r
+}
+
+// Fig7WallClock runs the Figure 7 sweep sequentially and then with the
+// given worker count, verifying that both render to identical tables and
+// reporting the wall-clock speedup. sizes nil = Sizes1990.
+func Fig7WallClock(cost *model.CostModel, sizes []int, workers int) (*SweepReport, error) {
+	if sizes == nil {
+		sizes = Sizes1990
+	}
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	SetParallelism(1)
+	t0 := time.Now()
+	seq, _, err := Fig7(cost, sizes)
+	if err != nil {
+		return nil, err
+	}
+	seqS := time.Since(t0).Seconds()
+
+	SetParallelism(workers)
+	t0 = time.Now()
+	par, _, err := Fig7(cost, sizes)
+	if err != nil {
+		return nil, err
+	}
+	parS := time.Since(t0).Seconds()
+
+	rep := &SweepReport{
+		Experiment:        "fig7",
+		Points:            3 * len(sizes),
+		Workers:           workers,
+		SequentialSeconds: seqS,
+		ParallelSeconds:   parS,
+		Identical:         FormatCurves("x", seq) == FormatCurves("x", par),
+	}
+	if parS > 0 {
+		rep.Speedup = seqS / parS
+	}
+	return rep, nil
+}
+
+// Format renders the report for the CLI.
+func (r *KernelPerfReport) Format() string {
+	out := "Kernel event-queue performance (wall clock, in-process benchmark)\n"
+	out += fmt.Sprintf("%-28s %12s %14s %8s %8s\n", "", "ns/event", "events/sec", "allocs", "B/event")
+	row := func(name string, q QueueBench) string {
+		return fmt.Sprintf("%-28s %12.1f %14.0f %8.2f %8.1f\n",
+			name, q.NsPerEvent, q.EventsPerSec, q.AllocsPerEvent, q.BytesPerEvent)
+	}
+	out += row("dispatch (pooled 4-ary)", r.Dispatch)
+	out += row("dispatch (container/heap)", r.DispatchBaseline)
+	out += row("fire+stop (pooled 4-ary)", r.FireStop)
+	out += row("fire+stop (container/heap)", r.FireStopBaseline)
+	out += fmt.Sprintf("speedup: dispatch %.2fx, fire+stop %.2fx\n", r.DispatchSpeedup, r.FireStopSpeedup)
+	if s := r.Sweep; s != nil {
+		out += fmt.Sprintf("%s sweep (%d points): sequential %.2fs, %d workers %.2fs -> %.2fx, identical=%v\n",
+			s.Experiment, s.Points, s.SequentialSeconds, s.Workers, s.ParallelSeconds, s.Speedup, s.Identical)
+	}
+	return out
+}
+
+// WriteJSON writes the report to path.
+func (r *KernelPerfReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"sync"
+
+	"nectar/internal/model"
+)
+
+// Parallel experiment execution.
+//
+// Every sweep point in this package builds its own simulated cluster on a
+// private sim.Kernel; distinct kernels share no mutable state, so sweep
+// points are embarrassingly parallel in wall-clock time while each point's
+// virtual-time result is computed exactly as in a sequential run. The only
+// care required is assembly: results are written into index-addressed
+// slots and tables/snapshot maps are assembled in job-index order after
+// all jobs complete, so the output is byte-identical whatever the
+// completion order (bench_test.go asserts this).
+
+var parallelism = 1
+
+// SetParallelism sets the number of worker goroutines used to run
+// independent sweep points. n < 1 is treated as 1 (sequential). The
+// default is 1, which runs jobs in order on the calling goroutine.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism reports the current worker count.
+func Parallelism() int { return parallelism }
+
+// runJobs executes jobs 0..n-1 on a bounded pool of Parallelism() worker
+// goroutines. Each job must be fully independent (its own kernel, its own
+// cost-model copy) and must record its results into slots addressed by its
+// own index. The first error by job index is returned — also a
+// deterministic choice, independent of scheduling.
+func runJobs(n int, job func(i int) error) error {
+	w := parallelism
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyCost gives one job a private copy of the cost model. CostModel is a
+// plain struct of scalars, so a value copy fully decouples the job from
+// the caller (ablation experiments tweak fields on their copies).
+func copyCost(cost *model.CostModel) *model.CostModel {
+	if cost == nil {
+		return nil
+	}
+	c := *cost
+	return &c
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nectar/internal/obs"
+)
+
+// parTestSizes keeps the sweep small enough for the test suite while
+// still giving the worker pool several jobs per curve.
+var parTestSizes = []int{64, 512, 2048}
+
+// snapKey renders a snapshot map deterministically (keys sorted via the
+// curve/size loop order the caller supplies) for byte-level comparison.
+func renderSnaps(t *testing.T, snaps map[string]*obs.Snapshot, curves []Curve, sizes []int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, c := range curves {
+		for _, s := range sizes {
+			k := fmt.Sprintf("%s/%d", c.Name, s)
+			sn, ok := snaps[k]
+			if !ok || sn == nil {
+				t.Fatalf("missing snapshot %q", k)
+			}
+			buf.WriteString(k)
+			buf.WriteByte('\n')
+			buf.Write(sn.JSON())
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFig7ParallelIdentical asserts that running the Figure 7 sweep on a
+// worker pool yields byte-identical tables AND byte-identical metrics
+// snapshots to the sequential run: parallelism must change wall clock
+// only, never virtual-time results.
+func TestFig7ParallelIdentical(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(1)
+	seqCurves, seqSnaps, err := Fig7(nil, parTestSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	parCurves, parSnaps, err := Fig7(nil, parTestSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqTab := FormatCurves("fig7", seqCurves)
+	parTab := FormatCurves("fig7", parCurves)
+	if seqTab != parTab {
+		t.Errorf("tables differ:\nsequential:\n%s\nparallel:\n%s", seqTab, parTab)
+	}
+	seqJ := renderSnaps(t, seqSnaps, seqCurves, parTestSizes)
+	parJ := renderSnaps(t, parSnaps, parCurves, parTestSizes)
+	if !bytes.Equal(seqJ, parJ) {
+		t.Error("metrics snapshots differ between sequential and parallel runs")
+	}
+}
+
+// TestFig8ParallelIdentical does the same for the host-to-host sweep.
+func TestFig8ParallelIdentical(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(1)
+	seqCurves, _, err := Fig8(nil, parTestSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(3)
+	parCurves, _, err := Fig8(nil, parTestSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := FormatCurves("fig8", seqCurves), FormatCurves("fig8", parCurves); s != p {
+		t.Errorf("tables differ:\nsequential:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+// TestRunJobsLowestIndexError pins the deterministic error contract: the
+// reported error is the failing job with the lowest index, independent of
+// completion order.
+func TestRunJobsLowestIndexError(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		err := runJobs(8, func(i int) error {
+			if i == 2 || i == 6 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 2 failed" {
+			t.Errorf("workers=%d: err = %v, want job 2 failed", workers, err)
+		}
+	}
+}
+
+// TestRunJobsAllIndicesOnce checks every job runs exactly once.
+func TestRunJobsAllIndicesOnce(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(4)
+	const n = 100
+	counts := make([]int, n) // index-addressed, no races by contract
+	if err := runJobs(n, func(i int) error { counts[i]++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("job %d ran %d times", i, c)
+		}
+	}
+}

@@ -29,6 +29,22 @@ type RxDesc struct {
 	Frame []byte   // full frame: datalink header + payload + CRC trailer
 	End   sim.Time // arrival time of the last byte
 	cab   *CAB
+	pkt   *fiber.Packet // in-flight packet owning Frame (nil in unit tests)
+}
+
+// Release recycles the frame buffer and descriptor once the frame is dead:
+// the datalink layer calls it on pre-DMA drop paths, and StartRxDMA calls
+// it after the payload has been copied out. It must be called at most once
+// per descriptor.
+func (d *RxDesc) Release() {
+	if d.pkt != nil {
+		d.pkt.Release()
+		d.pkt = nil
+	}
+	d.Frame = nil
+	if d.cab != nil {
+		d.cab.descFree = append(d.cab.descFree, d)
+	}
 }
 
 // CRCOK reports whether the hardware CRC over the frame verifies. The
@@ -72,6 +88,13 @@ type CAB struct {
 	txFrames, rxFrames uint64
 	crcErrors          uint64
 
+	// Fast-path recycling (see fiber.Pool): outbound frame/packet reuse
+	// and receive-descriptor reuse.
+	pool     *fiber.Pool
+	descFree []*RxDesc
+
+	markArrive string // precomputed "cab.rx.arrive.<node>" (hot path)
+
 	obs *obs.Observer
 }
 
@@ -88,6 +111,8 @@ func New(k *sim.Kernel, cost *model.CostModel, node wire.NodeID) *CAB {
 		Prot:   mem.NewProtection(data, 8),
 		routes: make(map[wire.NodeID][]byte),
 	}
+	c.pool = &fiber.Pool{}
+	c.markArrive = fmt.Sprintf("cab.rx.arrive.%d", node)
 	c.rxInterrupt = true
 	c.obs = obs.Ensure(k)
 	m := c.obs.Metrics()
@@ -192,7 +217,7 @@ func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, p
 	hdr.Src = c.node
 	hdr.Dst = dst
 	hdr.Len = uint16(n)
-	frame := make([]byte, wire.DatalinkHeaderLen+n+wire.CRCLen)
+	frame := c.pool.GetFrame(wire.DatalinkHeaderLen + n + wire.CRCLen)
 	hdr.Marshal(frame)
 	off := wire.DatalinkHeaderLen
 	for _, p := range payload {
@@ -207,7 +232,14 @@ func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, p
 	if c.obs.Tracing() {
 		c.obs.InstantSeq(int(c.node), obs.LayerCAB, "tx", 0, len(frame))
 	}
-	c.out.Send(&fiber.Packet{Route: append([]byte(nil), route...), Frame: frame, Circuit: circuit})
+	// The route slice is shared, not copied: HUBs consume hops by
+	// re-slicing only (see fiber.Packet), so the route table entry's
+	// backing array is never written in flight.
+	pkt := c.pool.GetPacket()
+	pkt.Route = route
+	pkt.Frame = frame
+	pkt.Circuit = circuit
+	c.out.Send(pkt)
 	return nil
 }
 
@@ -216,12 +248,15 @@ func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, p
 // drained into the input FIFO (paper §3.1: it "must be handled within a
 // few tens of microseconds").
 func (c *CAB) PacketArriving(pkt *fiber.Packet, end sim.Time) {
-	c.k.Markf("cab.rx.arrive.%d", c.node)
+	c.k.Mark(c.markArrive)
 	c.rxFrames++
 	if c.obs.Tracing() {
 		c.obs.InstantSeq(int(c.node), obs.LayerCAB, "rx.arrive", 0, len(pkt.Frame))
 	}
-	desc := &RxDesc{Frame: pkt.Frame, End: end, cab: c}
+	desc := c.getDesc()
+	desc.Frame = pkt.Frame
+	desc.End = end
+	desc.pkt = pkt
 	headerAt := c.k.Now() + sim.Time(c.cost.FiberTime(1+wire.DatalinkHeaderLen))
 	if headerAt > end {
 		headerAt = end
@@ -269,8 +304,24 @@ func (c *CAB) StartRxDMA(d *RxDesc, dst []byte, done func(ok bool)) {
 		}
 		copy(dst, payload)
 		done(ok)
+		d.Release() // payload copied out; frame and descriptor are dead
 	})
 }
+
+// getDesc returns a receive descriptor from the CAB's free list.
+func (c *CAB) getDesc() *RxDesc {
+	if n := len(c.descFree); n > 0 {
+		d := c.descFree[n-1]
+		c.descFree[n-1] = nil
+		c.descFree = c.descFree[:n-1]
+		return d
+	}
+	return &RxDesc{cab: c}
+}
+
+// Pool returns the CAB's frame/packet pool (stats are exposed for tests
+// and the perf report).
+func (c *CAB) Pool() *fiber.Pool { return c.pool }
 
 // Stats returns (frames transmitted, frames received, CRC errors).
 func (c *CAB) Stats() (tx, rx, crcErr uint64) { return c.txFrames, c.rxFrames, c.crcErrors }

@@ -27,10 +27,16 @@ import (
 // Frame holds the datalink header, payload, and CRC trailer as real bytes;
 // the route prefix is represented structurally and costs one byte per
 // remaining hop on the wire.
+//
+// Route's backing array is treated as read-only while the packet is in
+// flight: HUBs consume hops by re-slicing (Route = Route[1:]), never by
+// writing, so senders may share their route-table entry without copying.
 type Packet struct {
 	Route   []byte // remaining HUB output-port numbers; empty = deliverable
 	Frame   []byte // datalink header + payload + CRC trailer
 	Circuit bool   // riding a pre-established circuit (no per-hop setup)
+
+	pool *Pool // owning pool for Release; nil = GC-managed
 }
 
 // WireLen is the packet's current on-the-wire length: a route-length byte,
@@ -118,6 +124,7 @@ func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 		}
 		l.dropped++
 		l.obs.CapturePacket(l.name, pkt.Frame, true, false)
+		pkt.Release() // frame dead: the capture tap decodes synchronously
 		return
 	}
 	corrupted := false

@@ -1,0 +1,89 @@
+package fiber
+
+// Pool recycles Packet structs and frame buffers on the fast path
+// (CAB Transmit → fiber → HUB → CAB receive DMA). A Fig 7/8 sweep pushes
+// hundreds of thousands of frames through the wire path; without reuse each
+// one is a fresh Packet plus a fresh frame slice, and the GC dominates the
+// sweep's wall clock.
+//
+// The pool is single-threaded by construction: all gets and releases happen
+// inside one simulation kernel, which only ever runs one goroutine at a
+// time, so there are no locks. Releasing is a pure optimization — a path
+// that drops a packet without releasing it merely falls back to GC behavior
+// — but a release must only happen when the frame is provably dead (after
+// the receive DMA has copied it out, or on a drop). The terminal points
+// are:
+//
+//   - Link.SendAt's fault-injection drop path,
+//   - the datalink layer's pre-DMA drop paths (bad header, unknown type,
+//     no buffer space, start-of-data veto), and
+//   - CAB.StartRxDMA completion, after the CRC check and payload copy.
+type Pool struct {
+	frames  [][]byte
+	packets []*Packet
+
+	// Stats: hits (reuses) vs misses (fresh allocations).
+	frameHits, frameMisses uint64
+	pktHits, pktMisses     uint64
+}
+
+// GetFrame returns a frame buffer of length n, reusing pooled storage when
+// its capacity suffices. Contents are undefined; callers overwrite every
+// byte (header, payload, CRC trailer).
+func (p *Pool) GetFrame(n int) []byte {
+	if p != nil {
+		if m := len(p.frames); m > 0 {
+			f := p.frames[m-1]
+			if cap(f) >= n {
+				p.frames[m-1] = nil
+				p.frames = p.frames[:m-1]
+				p.frameHits++
+				return f[:n]
+			}
+			// Too small for this frame: leave it for a smaller send.
+		}
+		p.frameMisses++
+	}
+	return make([]byte, n)
+}
+
+// GetPacket returns a Packet owned by this pool; Release returns it.
+func (p *Pool) GetPacket() *Packet {
+	if p != nil {
+		if m := len(p.packets); m > 0 {
+			pkt := p.packets[m-1]
+			p.packets[m-1] = nil
+			p.packets = p.packets[:m-1]
+			p.pktHits++
+			return pkt
+		}
+		p.pktMisses++
+	}
+	return &Packet{pool: p}
+}
+
+// Release returns pkt and its frame to the pool. It must be called exactly
+// once, only when no reference to pkt or pkt.Frame survives. Safe to call
+// on packets built without a pool (no-op beyond clearing).
+func (pkt *Packet) Release() {
+	p := pkt.pool
+	if p == nil {
+		return
+	}
+	if pkt.Frame != nil {
+		p.frames = append(p.frames, pkt.Frame)
+	}
+	pkt.Frame = nil
+	pkt.Route = nil
+	pkt.Circuit = false
+	p.packets = append(p.packets, pkt)
+}
+
+// Stats reports (frame reuses, frame allocations, packet reuses, packet
+// allocations).
+func (p *Pool) Stats() (frameHits, frameMisses, pktHits, pktMisses uint64) {
+	if p == nil {
+		return
+	}
+	return p.frameHits, p.frameMisses, p.pktHits, p.pktMisses
+}

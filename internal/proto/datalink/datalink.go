@@ -61,6 +61,10 @@ type Layer struct {
 	vetoed      uint64
 	delivered   uint64
 
+	// Precomputed per-node mark names: Markf's variadic args would
+	// allocate on every frame even with tracing off.
+	markTx, markRx string
+
 	obs *obs.Observer
 }
 
@@ -73,6 +77,8 @@ type rxItem struct {
 // provides input-mailbox storage.
 func NewLayer(c *cab.CAB, rt *mailbox.Runtime) *Layer {
 	l := &Layer{cab: c, rt: rt, cost: c.Cost(), protos: make(map[uint8]Protocol)}
+	l.markTx = fmt.Sprintf("dl.tx.%d", c.Node())
+	l.markRx = fmt.Sprintf("dl.rx.%d", c.Node())
 	if c.RxInterruptMode() {
 		c.OnReceive(func(t *threads.Thread, d *cab.RxDesc) { l.receive(t, d) })
 	} else {
@@ -105,7 +111,7 @@ func (l *Layer) Register(typ uint8, p Protocol) { l.protos[typ] = p }
 // handlers.
 func (l *Layer) Send(ctx exec.Context, typ uint8, dst wire.NodeID, payload ...[]byte) error {
 	ctx.Compute(l.cost.DatalinkProcess + l.cost.DMASetup)
-	l.cab.Kernel().Markf("dl.tx.%d", l.cab.Node())
+	l.cab.Kernel().Mark(l.markTx)
 	if l.obs.Tracing() {
 		n := 0
 		for _, p := range payload {
@@ -138,7 +144,7 @@ func (l *Layer) rxThread(t *threads.Thread) {
 // start-of-data upcall, DMA, end-of-data upcall.
 func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 	ctx := exec.OnCAB(t)
-	l.cab.Kernel().Markf("dl.rx.%d", l.cab.Node())
+	l.cab.Kernel().Mark(l.markRx)
 	span := l.obs.BeginSeq(int(l.cab.Node()), obs.LayerDatalink, "rx", 0, 0, len(d.Frame))
 	ctx.Compute(l.cost.DatalinkProcess)
 
@@ -146,12 +152,14 @@ func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 	if err := hdr.Unmarshal(d.Frame); err != nil {
 		l.crcDrops++ // mangled beyond parsing
 		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
+		d.Release()
 		return
 	}
 	p, ok := l.protos[hdr.Type]
 	if !ok {
 		l.unknownType++
 		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
+		d.Release()
 		return
 	}
 	payload := d.Payload()
@@ -161,12 +169,14 @@ func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 		// overflows; reliable transports recover by retransmission.
 		l.noBuffer++
 		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
+		d.Release()
 		return
 	}
 	if !p.StartOfData(t, hdr.Src, payload) {
 		l.vetoed++
 		p.InputMailbox().AbortPut(ctx, m)
 		l.obs.End(span, int(l.cab.Node()), obs.LayerDatalink, "rx")
+		d.Release()
 		return
 	}
 	ctx.Compute(l.cost.DMASetup)

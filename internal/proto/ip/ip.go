@@ -63,6 +63,15 @@ type Layer struct {
 	badHeader, badChecksum, noProto, ttlExceeded        uint64
 	outPackets, outFragments                            uint64
 
+	// Per-send scratch recycling: header marshal buffers and gather-span
+	// slices are dead as soon as dl.Send returns (the CAB copies spans
+	// into the frame synchronously), so Output reuses them instead of
+	// allocating per packet. Free lists rather than single buffers
+	// because Compute yields virtual time, so several sends can be
+	// in flight on one CAB.
+	hdrFree  [][]byte
+	spanFree [][][]byte
+
 	obs  *obs.Observer
 	node int
 }
@@ -75,7 +84,7 @@ type reasmKey struct {
 
 type reasmState struct {
 	frags []*mailbox.Msg // each holds a full IP packet (header + partial payload)
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 // NewLayer installs IP on a CAB and registers it with the datalink layer.
@@ -161,14 +170,19 @@ func (l *Layer) Output(ctx exec.Context, tpl wire.IPv4Header, payload ...[]byte)
 		tpl.TotalLen = uint16(wire.IPv4HeaderLen + n)
 		tpl.Flags &= uint16(wire.IPFlagDF) // clear MF, offset
 		tpl.FragOff = 0
-		hdr := make([]byte, wire.IPv4HeaderLen)
+		hdr := l.getHdr()
 		ctx.Compute(cost.IPHeaderChecksum)
 		tpl.Marshal(hdr)
 		l.outPackets++
 		if l.obs.Tracing() {
 			l.obs.InstantSeq(l.node, obs.LayerIP, "output", uint64(tpl.ID), n)
 		}
-		return l.dl.Send(ctx, wire.TypeIP, node, append([][]byte{hdr}, payload...)...)
+		spans := append(l.getSpans(), hdr)
+		spans = append(spans, payload...)
+		err := l.dl.Send(ctx, wire.TypeIP, node, spans...)
+		l.putSpans(spans)
+		l.putHdr(hdr)
+		return err
 	}
 
 	// Fragmentation: split the payload into MTU-sized pieces on 8-byte
@@ -192,25 +206,56 @@ func (l *Layer) Output(ctx exec.Context, tpl wire.IPv4Header, payload ...[]byte)
 		} else {
 			fh.Flags = 0
 		}
-		hdr := make([]byte, wire.IPv4HeaderLen)
+		hdr := l.getHdr()
 		ctx.Compute(cost.IPHeaderChecksum)
 		fh.Marshal(hdr)
-		spans := gatherRange(payload, off, end-off)
 		l.outPackets++
 		l.outFragments++
 		if l.obs.Tracing() {
 			l.obs.InstantSeq(l.node, obs.LayerIP, "output.frag", uint64(tpl.ID), end-off)
 		}
-		if err := l.dl.Send(ctx, wire.TypeIP, node, append([][]byte{hdr}, spans...)...); err != nil {
+		spans := gatherRange(append(l.getSpans(), hdr), payload, off, end-off)
+		err := l.dl.Send(ctx, wire.TypeIP, node, spans...)
+		l.putSpans(spans)
+		l.putHdr(hdr)
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// gatherRange returns the sub-spans of payload covering [off, off+n).
-func gatherRange(payload [][]byte, off, n int) [][]byte {
-	var out [][]byte
+// getHdr returns a header marshal buffer from the free list.
+func (l *Layer) getHdr() []byte {
+	if n := len(l.hdrFree); n > 0 {
+		h := l.hdrFree[n-1]
+		l.hdrFree = l.hdrFree[:n-1]
+		return h
+	}
+	return make([]byte, wire.IPv4HeaderLen)
+}
+
+func (l *Layer) putHdr(h []byte) { l.hdrFree = append(l.hdrFree, h) }
+
+// getSpans returns an empty gather-span slice from the free list.
+func (l *Layer) getSpans() [][]byte {
+	if n := len(l.spanFree); n > 0 {
+		s := l.spanFree[n-1]
+		l.spanFree = l.spanFree[:n-1]
+		return s[:0]
+	}
+	return make([][]byte, 0, 4)
+}
+
+func (l *Layer) putSpans(s [][]byte) {
+	for i := range s {
+		s[i] = nil // drop payload references while pooled
+	}
+	l.spanFree = append(l.spanFree, s)
+}
+
+// gatherRange appends the sub-spans of payload covering [off, off+n) to out.
+func gatherRange(out [][]byte, payload [][]byte, off, n int) [][]byte {
 	for _, p := range payload {
 		if n == 0 {
 			break

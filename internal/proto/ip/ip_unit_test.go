@@ -22,7 +22,7 @@ func TestGatherRangeBasic(t *testing.T) {
 		{0, 0, ""},
 	}
 	for _, c := range cases {
-		got := flatten(gatherRange(payload, c.off, c.n))
+		got := flatten(gatherRange(nil, payload, c.off, c.n))
 		if string(got) != c.want {
 			t.Errorf("gatherRange(off=%d,n=%d) = %q, want %q", c.off, c.n, got, c.want)
 		}
@@ -48,7 +48,7 @@ func TestGatherRangeProperty(t *testing.T) {
 		}
 		off := int(offRaw) % len(whole)
 		n := int(nRaw) % (len(whole) - off + 1)
-		got := flatten(gatherRange(payload, off, n))
+		got := flatten(gatherRange(nil, payload, off, n))
 		return bytes.Equal(got, whole[off:off+n])
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
@@ -59,7 +59,7 @@ func TestGatherRangeProperty(t *testing.T) {
 // Property: gather never copies — every output span aliases an input span.
 func TestGatherRangeAliases(t *testing.T) {
 	a := []byte("0123456789")
-	spans := gatherRange([][]byte{a}, 2, 5)
+	spans := gatherRange(nil, [][]byte{a}, 2, 5)
 	if len(spans) != 1 {
 		t.Fatalf("spans = %d", len(spans))
 	}

@@ -23,6 +23,10 @@ type Datagram struct {
 
 	sent, delivered, noBox uint64
 
+	// Precomputed per-node mark names (Markf's variadic args allocate on
+	// every call even with tracing off).
+	markReq, markDeliver string
+
 	obs  *obs.Observer
 	node int
 }
@@ -38,6 +42,8 @@ func NewDatagram(dl *datalink.Layer, rt *mailbox.Runtime, _ *syncs.Pool) *Datagr
 	dl.Register(wire.TypeDatagram, d)
 	rt.CAB().Sched.Fork("datagram-send", threads.SystemPriority, d.sendThread)
 	d.node = int(rt.CAB().Node())
+	d.markReq = fmt.Sprintf("datagram.req.%d", d.node)
+	d.markDeliver = fmt.Sprintf("datagram.deliver.%d", d.node)
 	d.obs = obs.Ensure(rt.CAB().Kernel())
 	m := d.obs.Metrics()
 	scope := fmt.Sprintf("cab%d", d.node)
@@ -84,7 +90,7 @@ func (d *Datagram) sendThread(t *threads.Thread) {
 	ctx := exec.OnCAB(t)
 	for {
 		m := d.sendBox.BeginGet(ctx)
-		t.Sched().Kernel().Markf("datagram.req.%d", d.rt.CAB().Node())
+		t.Sched().Kernel().Mark(d.markReq)
 		var rh reqHeader
 		rh.unmarshal(m.Data())
 		err := d.SendDirect(ctx, wire.MailboxAddr{Node: rh.DstNode, Box: rh.DstBox}, rh.SrcBox, m.Data()[reqHeaderLen:])
@@ -136,7 +142,7 @@ func (d *Datagram) EndOfData(t *threads.Thread, src wire.NodeID, m *mailbox.Msg)
 		d.obs.InstantSeq(d.node, obs.LayerDatagram, "deliver", uint64(h.DstBox), m.Len())
 	}
 	d.inBox.Enqueue(ctx, m, dst)
-	t.Sched().Kernel().Markf("datagram.deliver.%d", d.rt.CAB().Node())
+	t.Sched().Kernel().Mark(d.markDeliver)
 }
 
 // Stats returns (sent, delivered, dropped-for-unknown-mailbox).

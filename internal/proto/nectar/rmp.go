@@ -40,7 +40,7 @@ type rmpPeer struct {
 	txSeq    uint32
 	pending  []*rmpReq // FIFO; the first `inFlight` entries are sent, unacked
 	inFlight int
-	timer    *sim.Timer
+	timer    sim.Timer
 
 	// Receiver side.
 	rxExpected uint32
@@ -203,9 +203,7 @@ func (r *RMP) transmit(ctx exec.Context, p *rmpPeer, req *rmpReq) bool {
 }
 
 func (r *RMP) armTimer(p *rmpPeer, req *rmpReq) {
-	if p.timer != nil {
-		p.timer.Stop()
-	}
+	p.timer.Stop()
 	k := r.rt.CAB().Kernel()
 	p.timer = k.After(RTO, func() {
 		r.rt.CAB().Sched.RaiseInterrupt("rmp-rto", func(t *threads.Thread) {
@@ -252,9 +250,9 @@ func (r *RMP) handleAck(ctx exec.Context, p *rmpPeer, ackNext uint32) {
 	if progressed {
 		if p.inFlight > 0 {
 			r.armTimer(p, p.pending[0])
-		} else if p.timer != nil {
+		} else {
 			p.timer.Stop()
-			p.timer = nil
+			p.timer = sim.Timer{}
 		}
 		r.pump(ctx, p)
 	}
@@ -275,10 +273,8 @@ func (r *RMP) completeHead(ctx exec.Context, p *rmpPeer, st uint32) {
 	} else {
 		// A failed head poisons the pipeline: stop the timer; later
 		// requests will be driven by pump on the next enqueue/ack.
-		if p.timer != nil {
-			p.timer.Stop()
-			p.timer = nil
-		}
+		p.timer.Stop()
+		p.timer = sim.Timer{}
 	}
 	if req.status != nil {
 		req.status.Write(ctx, st)

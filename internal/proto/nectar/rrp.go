@@ -43,7 +43,7 @@ type rrpCall struct {
 	reqMsg   *mailbox.Msg // send-box message retained for retransmission
 	status   *syncs.Sync
 	replyBox *mailbox.Mailbox
-	timer    *sim.Timer
+	timer    sim.Timer
 	retries  int
 }
 
@@ -217,10 +217,8 @@ func (r *RRP) timeout(ctx exec.Context, c *rrpCall) {
 // separately in EndOfData).
 func (r *RRP) finishCall(ctx exec.Context, c *rrpCall, st uint32) {
 	delete(r.pending, c.xid)
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
-	}
+	c.timer.Stop()
+	c.timer = sim.Timer{}
 	if c.reqMsg != nil {
 		r.sendBox.EndGet(ctx, c.reqMsg)
 		c.reqMsg = nil

@@ -247,19 +247,19 @@ type Conn struct {
 	rcvNxt uint32
 
 	retransQ []*txSeg
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 
 	rcvBox     *mailbox.Mailbox // in-order payload for the user
 	rcvEOF     bool
 	sentFin    bool
 	acceptLn   *Listener  // pending listener notification (SynRcvd)
-	winTimer   *sim.Timer // pending window-update probe
+	winTimer   sim.Timer // pending window-update probe
 	lastAdvWin uint32     // window advertised in the last transmitted segment
 
 	mu    *threads.Mutex
 	cond  *threads.Cond // state changes, window openings, ack arrivals
 	mss   int
-	timeW *sim.Timer
+	timeW sim.Timer
 }
 
 // txSeg is an unacknowledged transmitted segment.
@@ -561,9 +561,7 @@ func (c *Conn) rcvWindow() uint32 {
 
 // armRTO (re)arms the retransmission timer. Callers hold c.mu.
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 	t := c.layer
 	k := t.rt.CAB().Kernel()
 	c.rtoTimer = k.After(RTO, func() {
@@ -577,13 +575,13 @@ func (c *Conn) armRTO() {
 // armWindowUpdate schedules a pure-ACK probe that re-advertises the
 // receive window once the user has drained the receive mailbox.
 func (c *Conn) armWindowUpdate() {
-	if c.winTimer != nil {
+	if c.winTimer.Pending() {
 		return
 	}
 	t := c.layer
 	k := t.rt.CAB().Kernel()
 	c.winTimer = k.After(WindowUpdateInterval, func() {
-		c.winTimer = nil
+		c.winTimer = sim.Timer{}
 		t.timerQ = append(t.timerQ, timerEvent{c: c, winUpdate: true})
 		t.timerCond.Signal()
 	})
@@ -871,9 +869,9 @@ func (c *Conn) deliverEOF(ctx exec.Context) {
 
 // stopRTOIfIdle cancels the timer when nothing is outstanding.
 func (c *Conn) stopRTOIfIdle() {
-	if len(c.retransQ) == 0 && c.rtoTimer != nil {
+	if len(c.retransQ) == 0 {
 		c.rtoTimer.Stop()
-		c.rtoTimer = nil
+		c.rtoTimer = sim.Timer{}
 	}
 }
 
@@ -893,10 +891,8 @@ func (c *Conn) enterTimeWait() {
 // referenced by the retransmission queue.
 func (c *Conn) teardown(ctx exec.Context) {
 	c.state = Closed
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
+	c.rtoTimer = sim.Timer{}
 	for _, s := range c.retransQ {
 		if s.last && s.owner != nil {
 			c.layer.sendBox.EndGet(ctx, s.owner)

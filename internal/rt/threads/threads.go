@@ -73,7 +73,7 @@ type Sched struct {
 
 	ready      threadHeap
 	running    *Thread
-	sliceTimer *sim.Timer
+	sliceTimer sim.Timer
 	sliceStart sim.Time
 	switching  bool    // a context switch is in progress (CPU busy, uninterruptible)
 	switchTo   *Thread // the thread being switched to (not in ready, not yet running)
@@ -367,7 +367,7 @@ func (s *Sched) onReady(t *Thread) {
 		// thread.
 	case s.running == nil:
 		s.dispatchNext()
-	case s.sliceTimer != nil && s.ready[0].prio > s.running.prio:
+	case s.sliceTimer.Pending() && s.ready[0].prio > s.running.prio:
 		// Preempt the current compute slice.
 		s.preempt()
 	default:
@@ -390,7 +390,7 @@ func (s *Sched) preempt() {
 		t.remaining = 0
 	}
 	s.sliceTimer.Stop()
-	s.sliceTimer = nil
+	s.sliceTimer = sim.Timer{}
 	s.requeue(t)
 	s.startSwitch(s.pop())
 }
@@ -469,7 +469,7 @@ func (s *Sched) sliceDone(t *Thread) {
 	t.cpuTime += t.remaining
 	s.busyTime += t.remaining
 	t.remaining = 0
-	s.sliceTimer = nil
+	s.sliceTimer = sim.Timer{}
 	t.wake.Signal()
 }
 

@@ -12,11 +12,37 @@
 // caller of Run or one Proc) is ever executing simulation code. Handoff
 // between the kernel loop and a Proc uses a single unbuffered channel pair,
 // so there is no data race on simulation state and no need for locks in any
-// model code.
+// model code. Distinct Kernels share nothing, so independent simulations may
+// run concurrently on separate goroutines (the parallel experiment harness
+// in internal/bench relies on this).
+//
+// # Event-queue design
+//
+// The run queue is built for the protocol-stack hot path, where timers are
+// armed and cancelled far more often than they fire (every TCP/RMP
+// transmission re-arms its retransmission timer):
+//
+//   - Event records live in a slot arena ([]event) recycled through a
+//     free list, so After/At perform no per-call allocation in steady
+//     state. Timer handles are small (slot, generation) values — the
+//     generation is bumped when a slot is freed, which invalidates stale
+//     handles without any heap-allocated state.
+//   - The priority queue is an inlined 4-ary min-heap over (at, seq) keys
+//     stored directly in the heap entries. A 4-ary heap halves the tree
+//     depth of a binary heap and keeps sibling keys in adjacent cache
+//     lines; comparisons never chase event pointers.
+//   - Timer.Stop removes the event from the heap eagerly (sift-fix at its
+//     index) instead of leaving a dead record resident until pop, so
+//     timer-heavy workloads do not grow the queue with cancelled RTOs,
+//     and PendingEvents is a maintained O(1) counter.
+//
+// Because every key (at, seq) is unique and the comparator is total, the
+// pop order — and therefore every simulation result — is byte-identical to
+// the previous container/heap implementation (see the determinism tests and
+// BENCH_kernel.json for the recorded speedup).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,84 +79,91 @@ func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
 // Micros constructs a Duration from fractional microseconds.
 func Micros(us float64) Duration { return Duration(us * 1e3) }
 
-// event is a single entry in the kernel's run queue.
+// event is one slot in the kernel's event arena. Slots are recycled through
+// a free list; gen distinguishes successive occupancies so stale Timer
+// handles are detected without per-timer allocation.
 type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	gen     uint64
+	heapIdx int32 // index into Kernel.heap while queued
+}
+
+// heapEntry is one node of the 4-ary min-heap. The ordering key is stored
+// inline so sift operations never dereference the arena.
+type heapEntry struct {
 	at   Time
 	seq  uint64
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	slot int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// Timer is a handle to a scheduled callback that can be cancelled.
+// Timer is a handle to a scheduled callback that can be cancelled. The zero
+// Timer is valid and behaves like an already-fired timer (Stop and Pending
+// report false, When reports 0), so struct fields holding a Timer need no
+// "armed" sentinel.
 type Timer struct {
-	k *Kernel
-	e *event
+	k    *Kernel
+	slot int32
+	gen  uint64
 }
 
-// Stop cancels the timer. It reports whether the callback was still pending
-// (false if it already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.dead || t.e.fn == nil {
+// Stop cancels the timer, eagerly removing its event from the queue. It
+// reports whether the callback was still pending (false if it already fired
+// or was already stopped).
+func (t Timer) Stop() bool {
+	k := t.k
+	if k == nil {
 		return false
 	}
-	t.e.dead = true
+	e := &k.arena[t.slot]
+	if e.gen != t.gen {
+		return false
+	}
+	k.heapRemove(int(e.heapIdx))
+	k.freeSlot(t.slot)
 	return true
 }
 
 // Pending reports whether the timer has not yet fired or been stopped.
-func (t *Timer) Pending() bool {
-	return t != nil && t.e != nil && !t.e.dead && t.e.fn != nil
+func (t Timer) Pending() bool {
+	return t.k != nil && t.k.arena[t.slot].gen == t.gen
 }
 
-// When reports the virtual time at which the timer will fire. For a nil,
+// When reports the virtual time at which the timer will fire. For a zero,
 // stopped, or already-fired timer it returns the zero Time (use Pending to
 // distinguish a live timer scheduled for t=0).
-func (t *Timer) When() Time {
-	if t == nil || t.e == nil || t.e.dead || t.e.fn == nil {
+func (t Timer) When() Time {
+	if t.k == nil {
 		return 0
 	}
-	return t.e.at
+	e := &t.k.arena[t.slot]
+	if e.gen != t.gen {
+		return 0
+	}
+	return e.at
 }
 
 // Kernel is the discrete-event simulation kernel.
 type Kernel struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	procs   map[*Proc]struct{} // live procs (for deadlock reporting)
-	current *Proc              // proc currently executing, nil = kernel loop
-	handoff chan struct{}      // proc -> kernel: "I have yielded"
-	failure error              // a proc panicked or Fatalf was called
+	now  Time
+	seq  uint64
+	heap []heapEntry // 4-ary min-heap over (at, seq)
+
+	arena []event // event slot storage, recycled via free
+	free  []int32 // free slots in arena
+
+	procs    map[*Proc]struct{} // live procs (for deadlock reporting)
+	current  *Proc              // proc currently executing, nil = kernel loop
+	handoff  chan struct{}      // proc -> kernel: "I have yielded"
+	failure  error              // a proc panicked or Fatalf was called
 	running  bool
 	tracer   func(name string, at Time)
 	observer any // opaque slot for the observability layer (internal/obs)
@@ -151,7 +184,7 @@ func (k *Kernel) SetTracer(fn func(name string, at Time)) { k.tracer = fn }
 // Mark records a named instant when a tracer is installed. Hardware and
 // runtime layers call it at stage boundaries so experiments (e.g. the
 // Figure 6 latency breakdown) can attribute time without changing code
-// paths.
+// paths. Hot paths should pass a precomputed name (see Markf's doc comment).
 func (k *Kernel) Mark(name string) {
 	if k.tracer != nil {
 		k.tracer(name, k.now)
@@ -159,7 +192,10 @@ func (k *Kernel) Mark(name string) {
 }
 
 // Markf is Mark with lazy formatting: the name is only built when a tracer
-// is installed (call sites use it to qualify marks with a node identity).
+// is installed. Note that the variadic args slice itself is built by the
+// caller even with tracing off, so per-event hot paths should precompute
+// their mark name once (layers qualify marks with a node identity that is
+// fixed at construction time) and call Mark instead.
 func (k *Kernel) Markf(format string, args ...any) {
 	if k.tracer != nil {
 		k.tracer(fmt.Sprintf(format, args...), k.now)
@@ -177,30 +213,51 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// schedule inserts an event at time at (>= now).
-func (k *Kernel) schedule(at Time, fn func()) *event {
+// schedule inserts an event at time at (>= now) and returns its slot.
+func (k *Kernel) schedule(at Time, fn func()) int32 {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, k.now))
 	}
 	k.seq++
-	e := &event{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.queue, e)
-	return e
+	var slot int32
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.arena = append(k.arena, event{})
+		slot = int32(len(k.arena) - 1)
+	}
+	e := &k.arena[slot]
+	e.at = at
+	e.seq = k.seq
+	e.fn = fn
+	k.heapPush(heapEntry{at: at, seq: k.seq, slot: slot})
+	return slot
+}
+
+// freeSlot recycles an arena slot, invalidating outstanding Timer handles.
+func (k *Kernel) freeSlot(slot int32) {
+	e := &k.arena[slot]
+	e.fn = nil
+	e.gen++
+	e.heapIdx = -1
+	k.free = append(k.free, slot)
 }
 
 // At schedules fn to run at absolute virtual time at. fn runs in kernel
 // context and must not block.
-func (k *Kernel) At(at Time, fn func()) *Timer {
-	return &Timer{k: k, e: k.schedule(at, fn)}
+func (k *Kernel) At(at Time, fn func()) Timer {
+	slot := k.schedule(at, fn)
+	return Timer{k: k, slot: slot, gen: k.arena[slot].gen}
 }
 
 // After schedules fn to run d from now. fn runs in kernel context and must
 // not block.
-func (k *Kernel) After(d Duration, fn func()) *Timer {
+func (k *Kernel) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{k: k, e: k.schedule(k.now+Time(d), fn)}
+	return k.At(k.now+Time(d), fn)
 }
 
 // Fatalf aborts the simulation with an error; Run returns it.
@@ -210,23 +267,88 @@ func (k *Kernel) Fatalf(format string, args ...any) {
 	}
 }
 
+// --- inlined 4-ary min-heap ---
+
+func (k *Kernel) heapPush(e heapEntry) {
+	k.heap = append(k.heap, e)
+	k.siftUp(len(k.heap) - 1)
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		k.arena[h[i].slot].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = e
+	k.arena[e.slot].heapIdx = int32(i)
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		k.arena[h[i].slot].heapIdx = int32(i)
+		i = m
+	}
+	h[i] = e
+	k.arena[e.slot].heapIdx = int32(i)
+}
+
+// heapRemove deletes the entry at heap index i, restoring heap order.
+func (k *Kernel) heapRemove(i int) {
+	h := k.heap
+	n := len(h) - 1
+	last := h[n]
+	k.heap = h[:n]
+	if i < n {
+		h[i] = last
+		k.arena[last.slot].heapIdx = int32(i)
+		k.siftDown(i)
+		k.siftUp(i)
+	}
+}
+
 // step pops and executes one event. Returns false when the queue is empty.
 func (k *Kernel) step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*event)
-		if e.dead {
-			continue
-		}
-		if e.at < k.now {
-			panic("sim: time went backwards")
-		}
-		k.now = e.at
-		fn := e.fn
-		e.fn = nil
-		fn()
-		return true
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	top := k.heap[0]
+	if top.at < k.now {
+		panic("sim: time went backwards")
+	}
+	k.heapRemove(0)
+	k.now = top.at
+	fn := k.arena[top.slot].fn
+	k.freeSlot(top.slot)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or the horizon (if > 0) is
@@ -250,9 +372,9 @@ func (k *Kernel) run(horizon Time) error {
 	k.running = true
 	defer func() { k.running = false }()
 	for k.failure == nil {
-		if horizon >= 0 && len(k.queue) > 0 {
+		if horizon >= 0 && len(k.heap) > 0 {
 			// Peek: stop before executing events past the horizon.
-			if k.queue[0].at > horizon {
+			if k.heap[0].at > horizon {
 				break
 			}
 		}
@@ -285,15 +407,9 @@ func (k *Kernel) procNames() string {
 }
 
 // Idle reports whether no events are pending.
-func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+func (k *Kernel) Idle() bool { return len(k.heap) == 0 }
 
-// PendingEvents returns the number of live events in the queue.
-func (k *Kernel) PendingEvents() int {
-	n := 0
-	for _, e := range k.queue {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+// PendingEvents returns the number of live events in the queue. Stopped
+// timers are removed eagerly, so this is simply the queue length — O(1),
+// where it used to scan the queue filtering dead entries.
+func (k *Kernel) PendingEvents() int { return len(k.heap) }

@@ -71,6 +71,76 @@ func BenchmarkProcHandoff(b *testing.B) {
 	}
 }
 
+func BenchmarkScheduleFireStop(b *testing.B) {
+	// The acceptance-criteria cycle: one short timer that fires, one long
+	// timer that is cancelled — the protocol stack's steady-state mix.
+	k := NewKernel()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Microsecond, fn)
+		t := k.After(Second, fn)
+		t.Stop()
+		if i%1024 == 1023 {
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Baseline* benchmarks measure the pre-overhaul boxed container/heap queue
+// (see baseline.go) so `go test -bench Baseline` quantifies the speedup
+// recorded in BENCH_kernel.json.
+
+func BenchmarkBaselineEventDispatch(b *testing.B) {
+	var q BaselineQueue
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After(Microsecond, fn)
+		if i%1024 == 1023 {
+			q.Drain()
+		}
+	}
+	q.Drain()
+}
+
+func BenchmarkBaselineTimerChurn(b *testing.B) {
+	var q BaselineQueue
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := q.After(Second, fn)
+		t.Stop()
+		if i%4096 == 4095 {
+			q.Drain()
+		}
+	}
+}
+
+func BenchmarkBaselineScheduleFireStop(b *testing.B) {
+	var q BaselineQueue
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After(Microsecond, fn)
+		t := q.After(Second, fn)
+		t.Stop()
+		if i%1024 == 1023 {
+			q.Drain()
+		}
+	}
+	q.Drain()
+}
+
 func BenchmarkHeapOrdering(b *testing.B) {
 	// Worst-ish case: interleaved far/near timestamps exercising heap
 	// percolation.

@@ -470,11 +470,17 @@ func TestTimerWhen(t *testing.T) {
 		t.Errorf("When = %v, want 10us", got)
 	}
 
-	// Regression: When on nil, stopped, and fired timers must not panic
+	// Regression: When on zero, stopped, and fired timers must not panic
 	// and must return the zero Time.
-	var nilTimer *Timer
-	if got := nilTimer.When(); got != 0 {
-		t.Errorf("nil timer When = %v, want 0", got)
+	var zeroTimer Timer
+	if got := zeroTimer.When(); got != 0 {
+		t.Errorf("zero timer When = %v, want 0", got)
+	}
+	if zeroTimer.Stop() {
+		t.Error("zero timer Stop = true, want false")
+	}
+	if zeroTimer.Pending() {
+		t.Error("zero timer Pending = true, want false")
 	}
 	tm.Stop()
 	if got := tm.When(); got != 0 {
