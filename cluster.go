@@ -32,6 +32,7 @@ import (
 	"nectar/internal/hw/hub"
 	"nectar/internal/model"
 	"nectar/internal/nectarine"
+	"nectar/internal/obs"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/ip"
 	"nectar/internal/proto/nectar"
@@ -77,10 +78,29 @@ type Config struct {
 	RxThreadMode bool
 	// HubPorts is the crossbar size (default hub.DefaultPorts).
 	HubPorts int
+
+	// Shards > 1 opts in to sharded execution: nodes are partitioned
+	// into per-shard simulation kernels that run concurrently on OS
+	// threads under a conservative time-window scheduler (see
+	// internal/sim's Coupling). The HUB setup latency on cross-shard
+	// fiber paths is the scheduler's lookahead, so results are
+	// byte-identical to a sequential run. Sharded clusters are limited
+	// to a single HUB and cannot open circuits (zero lookahead).
+	// 0 or 1 means sequential execution on one kernel (the default).
+	Shards int
+	// ShardOf maps a node's index (in AddNode order) to its shard in
+	// [0, Shards). nil: round-robin (index % Shards). Placing the two
+	// ends of a busy flow on different shards is what buys parallelism;
+	// placing chatty neighbors together minimizes window overhead.
+	ShardOf func(nodeIdx int) int
 }
 
 // Cluster is a simulated Nectar installation.
 type Cluster struct {
+	// K is the simulation kernel. Under sharded execution it is shard
+	// 0's kernel, which also hosts cluster-wide metrics (HUB gauges);
+	// use Run/RunFor/Now on the Cluster — not K directly — so all
+	// shards advance.
 	K    *sim.Kernel
 	Cost *model.CostModel
 	Hubs []*hub.Hub
@@ -90,6 +110,12 @@ type Cluster struct {
 	cfg      Config
 	hubLinks []hubLink
 	nextPort []int // per hub
+
+	// Sharded execution state (nil/empty when sequential).
+	coupling  *sim.Coupling
+	domains   []*sim.Domain // one per shard
+	nodeShard []int         // node index -> shard
+	uplinks   []*fiber.Link // node index -> its CAB->HUB link (the shard gateway)
 }
 
 type hubLink struct{ fromHub, fromPort, toHub, toPort int }
@@ -107,13 +133,28 @@ func NewCluster(cfg *Config) *Cluster {
 	if c.HubPorts == 0 {
 		c.HubPorts = hub.DefaultPorts
 	}
-	cl := &Cluster{K: sim.NewKernel(), Cost: c.Cost, cfg: c}
+	cl := &Cluster{Cost: c.Cost, cfg: c}
+	if c.Shards > 1 {
+		cl.coupling = sim.NewCoupling()
+		for i := 0; i < c.Shards; i++ {
+			cl.domains = append(cl.domains, cl.coupling.AddDomain(sim.NewKernel()))
+		}
+		cl.K = cl.domains[0].Kernel()
+	} else {
+		cl.K = sim.NewKernel()
+	}
 	cl.AddHub()
+	if cl.coupling != nil {
+		cl.Hubs[0].SetSharded()
+	}
 	return cl
 }
 
 // AddHub adds a crossbar to the installation and returns its index.
 func (cl *Cluster) AddHub() int {
+	if cl.coupling != nil && len(cl.Hubs) > 0 {
+		panic("nectar: sharded clusters support a single HUB")
+	}
 	h := hub.New(cl.K, cl.Cost, fmt.Sprintf("hub%d", len(cl.Hubs)), cl.cfg.HubPorts)
 	cl.Hubs = append(cl.Hubs, h)
 	cl.nextPort = append(cl.nextPort, 0)
@@ -123,6 +164,9 @@ func (cl *Cluster) AddHub() int {
 // ConnectHubs joins two HUBs with a fiber pair, consuming one port on
 // each (large Nectar systems are built this way, paper §2.1).
 func (cl *Cluster) ConnectHubs(a, b int) {
+	if cl.coupling != nil {
+		panic("nectar: sharded clusters support a single HUB")
+	}
 	pa := cl.allocPort(a)
 	pb := cl.allocPort(b)
 	cl.Hubs[a].ConnectOut(pa, fiber.NewLink(cl.K, cl.Cost,
@@ -147,21 +191,58 @@ func (cl *Cluster) AddNode() *Node { return cl.AddNodeAt(0) }
 
 // AddNodeAt attaches a new host/CAB pair to the given HUB and boots its
 // runtime system and protocol stacks.
+//
+// Under sharded execution the whole node — CAB, host, interface, runtime,
+// protocol stacks, and both of its fiber endpoints — is built on its
+// shard's kernel: the CAB->HUB uplink and the HUB input port it feeds run
+// on the node's shard, and the HUB output link back to the CAB runs there
+// too, so the only events that ever cross shards are HUB forwards (which
+// carry the setup latency, the coupling's lookahead).
 func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
 	id := wire.NodeID(len(cl.Nodes) + 1)
 	port := cl.allocPort(hubIdx)
 
-	c := cab.New(cl.K, cl.Cost, id)
+	k := cl.K
+	shard := 0
+	var dom *sim.Domain
+	if cl.coupling != nil {
+		shard = cl.shardOf(len(cl.Nodes))
+		dom = cl.domains[shard]
+		k = dom.Kernel()
+	}
+
+	c := cab.New(k, cl.Cost, id)
 	if cl.cfg.RxThreadMode {
 		c.SetRxInterruptMode(false)
 	}
-	h := host.New(cl.K, cl.Cost, fmt.Sprintf("host%d", id), c)
+	h := host.New(k, cl.Cost, fmt.Sprintf("host%d", id), c)
 	f := hostif.New(h, c)
 
 	// Fibers: CAB -> hub input port, hub output port -> CAB.
 	hb := cl.Hubs[hubIdx]
-	c.ConnectFiber(fiber.NewLink(cl.K, cl.Cost, fmt.Sprintf("cab%d->hub%d", id, hubIdx), hb.InPort(port)))
-	hb.ConnectOut(port, fiber.NewLink(cl.K, cl.Cost, fmt.Sprintf("hub%d.%d->cab%d", hubIdx, port, id), c))
+	var in fiber.Endpoint
+	if dom != nil {
+		in = hb.InPortOn(port, k, dom)
+	} else {
+		in = hb.InPort(port)
+	}
+	up := fiber.NewLink(k, cl.Cost, fmt.Sprintf("cab%d->hub%d", id, hubIdx), in)
+	c.ConnectFiber(up)
+	hb.ConnectOut(port, fiber.NewLink(k, cl.Cost, fmt.Sprintf("hub%d.%d->cab%d", hubIdx, port, id), c))
+	if dom != nil {
+		hb.SetOutDomain(port, dom)
+		// The uplink is the shard's gateway: every cross-shard forward
+		// is of a packet it delivered to the HUB input port, so its
+		// earliest-output bound (delivery + HubSetup) covers them all.
+		nodeIdx := len(cl.Nodes)
+		up.SetGateway(sim.Duration(cl.Cost.HubSetup), func(out byte) bool {
+			s, ok := cl.shardOfHubPort(int(out))
+			return ok && s != cl.nodeShard[nodeIdx]
+		})
+		dom.AddGateway(up)
+	}
+	cl.nodeShard = append(cl.nodeShard, shard)
+	cl.uplinks = append(cl.uplinks, up)
 
 	// Runtime system.
 	mrt := mailbox.NewRuntime(c)
@@ -235,12 +316,113 @@ func (cl *Cluster) route(from, to, finalPort int) ([]byte, bool) {
 	return nil, false
 }
 
+// shardOf maps a node index to its shard.
+func (cl *Cluster) shardOf(nodeIdx int) int {
+	if cl.cfg.ShardOf != nil {
+		s := cl.cfg.ShardOf(nodeIdx)
+		if s < 0 || s >= cl.cfg.Shards {
+			panic(fmt.Sprintf("nectar: ShardOf(%d) = %d out of range [0,%d)", nodeIdx, s, cl.cfg.Shards))
+		}
+		return s
+	}
+	return nodeIdx % cl.cfg.Shards
+}
+
+// shardOfHubPort reports the shard of the node attached at HUB port p
+// (sharded clusters have a single HUB, so the port identifies the node).
+func (cl *Cluster) shardOfHubPort(p int) (int, bool) {
+	for i, n := range cl.Nodes {
+		if n.port == p {
+			return cl.nodeShard[i], true
+		}
+	}
+	return 0, false
+}
+
+// Shards returns the number of execution shards (1 when sequential).
+func (cl *Cluster) Shards() int {
+	if cl.coupling == nil {
+		return 1
+	}
+	return len(cl.domains)
+}
+
+// Windows reports how many conservative safe windows the coupling
+// scheduler has executed (0 when sequential).
+func (cl *Cluster) Windows() uint64 {
+	if cl.coupling == nil {
+		return 0
+	}
+	return cl.coupling.Windows()
+}
+
+// MultiWindows reports how many safe windows had more than one active
+// shard (0 when sequential).
+func (cl *Cluster) MultiWindows() uint64 {
+	if cl.coupling == nil {
+		return 0
+	}
+	return cl.coupling.MultiWindows()
+}
+
+// ShardOfNode returns the shard executing node i (0 when sequential).
+func (cl *Cluster) ShardOfNode(i int) int {
+	if cl.coupling == nil {
+		return 0
+	}
+	return cl.nodeShard[i]
+}
+
+// Kernels returns every simulation kernel of the cluster: one per shard,
+// or just K when sequential. Per-shard observability (trace sinks, wire
+// captures) is installed by attaching to each kernel's observer.
+func (cl *Cluster) Kernels() []*sim.Kernel {
+	if cl.coupling == nil {
+		return []*sim.Kernel{cl.K}
+	}
+	ks := make([]*sim.Kernel, len(cl.domains))
+	for i, d := range cl.domains {
+		ks[i] = d.Kernel()
+	}
+	return ks
+}
+
+// MetricsSnapshot exports the cluster's metrics at the current virtual
+// time. Under sharded execution the per-shard registries are merged (sums
+// of counters and gauges, bucket-level histogram merges) into one snapshot
+// that is byte-identical to the sequential run's.
+func (cl *Cluster) MetricsSnapshot() *obs.Snapshot {
+	if cl.coupling == nil {
+		return obs.Ensure(cl.K).Metrics().Snapshot(cl.Now())
+	}
+	regs := make([]*obs.Registry, len(cl.domains))
+	for i, d := range cl.domains {
+		regs[i] = obs.Ensure(d.Kernel()).Metrics()
+	}
+	return obs.MergeSnapshots(cl.Now(), regs...)
+}
+
 // Run drives the simulation until no events remain. It fails on deadlock
 // or a model panic. Clusters with server threads never drain; use RunFor.
-func (cl *Cluster) Run() error { return cl.K.Run() }
+func (cl *Cluster) Run() error {
+	if cl.coupling != nil {
+		return cl.coupling.Run()
+	}
+	return cl.K.Run()
+}
 
 // RunFor drives the simulation for d of virtual time.
-func (cl *Cluster) RunFor(d sim.Duration) error { return cl.K.RunFor(d) }
+func (cl *Cluster) RunFor(d sim.Duration) error {
+	if cl.coupling != nil {
+		return cl.coupling.RunFor(d)
+	}
+	return cl.K.RunFor(d)
+}
 
 // Now returns the current virtual time.
-func (cl *Cluster) Now() sim.Time { return cl.K.Now() }
+func (cl *Cluster) Now() sim.Time {
+	if cl.coupling != nil {
+		return cl.coupling.Now()
+	}
+	return cl.K.Now()
+}

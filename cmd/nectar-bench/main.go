@@ -5,20 +5,28 @@
 //
 // Usage:
 //
-//	nectar-bench [-stats] [-parallel N] [-benchjson path] [experiment ...]
+//	nectar-bench [-stats] [-parallel N] [-shards N] [-benchjson path] [-pdesjson path] [experiment ...]
 //
 // -stats appends a one-line metrics summary (from the observability
 // registry snapshot) to each experiment that exports one.
 //
 // -parallel N runs independent sweep points (each its own simulated
-// cluster on a private kernel) on N worker goroutines. Virtual-time
-// results — every number printed to stdout — are byte-identical to a
-// sequential run; only wall clock changes. Wall-clock per experiment is
-// reported on stderr so stdout stays diffable.
+// cluster on a private kernel) on N worker goroutines; the default is
+// GOMAXPROCS. Virtual-time results — every number printed to stdout —
+// are byte-identical to a sequential run; only wall clock changes.
+// Wall-clock per experiment is reported on stderr so stdout stays
+// diffable.
+//
+// -shards N additionally runs each experiment *cluster* sharded: nodes
+// are partitioned round-robin over N simulation kernels coupled by the
+// conservative lookahead scheduler, so a single big cluster also uses
+// multiple cores. Results remain byte-identical to sequential execution
+// (the default, N=1).
 //
 // Experiments: table1, fig6, fig7, fig8, netdev, micro, ablate-ipmode,
 // ablate-upcall, ablate-switching, ablate-rmpwindow, mailbox-impl,
-// kernel (event-queue benchmark, writes -benchjson), all (default).
+// kernel (event-queue benchmark, writes -benchjson),
+// pdes (sharded-execution benchmark, writes -pdesjson), all (default).
 package main
 
 import (
@@ -36,8 +44,10 @@ import (
 
 var (
 	statsFlag    = flag.Bool("stats", false, "print metrics-snapshot summaries with each experiment")
-	parallelFlag = flag.Int("parallel", 1, "worker goroutines for independent sweep points (0 = NumCPU)")
+	parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent sweep points (0 = GOMAXPROCS)")
+	shardsFlag   = flag.Int("shards", 1, "shard kernels per experiment cluster (1 = sequential; results identical either way)")
 	benchJSON    = flag.String("benchjson", "BENCH_kernel.json", "output path for the kernel experiment's JSON report")
+	pdesJSON     = flag.String("pdesjson", "BENCH_pdes.json", "output path for the pdes experiment's JSON report")
 )
 
 func main() {
@@ -47,9 +57,10 @@ func main() {
 		args = []string{"all"}
 	}
 	if *parallelFlag == 0 {
-		*parallelFlag = runtime.NumCPU()
+		*parallelFlag = runtime.GOMAXPROCS(0)
 	}
 	bench.SetParallelism(*parallelFlag)
+	bench.SetExperimentShards(*shardsFlag)
 	cost := model.Default1990()
 	exit := 0
 	for _, a := range args {
@@ -58,7 +69,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nectar-bench %s: %v\n", a, err)
 			exit = 1
 		}
-		fmt.Fprintf(os.Stderr, "# %s: %.2fs wall (parallel=%d)\n", a, time.Since(start).Seconds(), bench.Parallelism())
+		fmt.Fprintf(os.Stderr, "# %s: %.2fs wall (parallel=%d shards=%d)\n",
+			a, time.Since(start).Seconds(), bench.Parallelism(), bench.ExperimentShards())
 	}
 	os.Exit(exit)
 }
@@ -171,6 +183,25 @@ func run(name string, cost *model.CostModel) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "# wrote %s\n", *benchJSON)
+		}
+	case "pdes":
+		shards := *shardsFlag
+		if shards < 2 {
+			shards = runtime.GOMAXPROCS(0)
+			if shards > 4 {
+				shards = 4
+			}
+		}
+		r, err := bench.Pdes(cost, shards)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if *pdesJSON != "" {
+			if err := r.WriteJSON(*pdesJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", *pdesJSON)
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)

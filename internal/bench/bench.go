@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"nectar"
 	"nectar/internal/model"
@@ -18,13 +19,54 @@ import (
 // maxVirtual caps an experiment's virtual runtime as a hang backstop.
 const maxVirtual = 120 * sim.Second
 
+// experimentShards is the shard count experiment clusters are built with
+// (1 = sequential). Like parallelism it is set once, before experiments
+// run, from nectar-bench's -shards flag.
+var experimentShards = 1
+
+// SetExperimentShards opts every experiment cluster built through
+// newCluster into sharded execution with n shards (n < 2 = sequential,
+// the default). Results are byte-identical either way — sharding only
+// changes wall-clock time (shards_test.go asserts this).
+func SetExperimentShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	experimentShards = n
+}
+
+// ExperimentShards reports the current experiment shard count.
+func ExperimentShards() int { return experimentShards }
+
 // newCluster builds a two-node cluster with the given cost model (nil =
 // the paper's defaults).
 func newCluster(cost *model.CostModel, rxThread bool) (*nectar.Cluster, *nectar.Node, *nectar.Node) {
-	cl := nectar.NewCluster(&nectar.Config{Cost: cost, RxThreadMode: rxThread})
+	cl := nectar.NewCluster(&nectar.Config{Cost: cost, RxThreadMode: rxThread, Shards: experimentShards})
 	a := cl.AddNode()
 	b := cl.AddNode()
 	return cl, a, b
+}
+
+// traceMarks installs a first-occurrence mark recorder on every shard
+// kernel of cl (one kernel when sequential) and returns the map to read
+// after the run. Mark names are node-qualified, so each name fires on
+// exactly one kernel and the recorded virtual times are deterministic
+// regardless of sharding; the mutex only guards the map against
+// concurrent shard goroutines.
+func traceMarks(cl *nectar.Cluster) map[string]sim.Time {
+	marks := map[string]sim.Time{}
+	var mu sync.Mutex
+	tracer := func(name string, at sim.Time) {
+		mu.Lock()
+		if _, ok := marks[name]; !ok {
+			marks[name] = at
+		}
+		mu.Unlock()
+	}
+	for _, k := range cl.Kernels() {
+		k.SetTracer(tracer)
+	}
+	return marks
 }
 
 // drive runs the cluster until *done is true, in 1 ms steps, failing after
@@ -42,10 +84,12 @@ func drive(cl *nectar.Cluster, done *bool) error {
 	return nil
 }
 
-// snapshot exports a cluster's metrics registry at its current virtual
-// time, so every experiment returns the counters behind its numbers.
+// snapshot exports a cluster's metrics at its current virtual time, so
+// every experiment returns the counters behind its numbers. Under sharded
+// execution the per-shard registries merge into one snapshot that is
+// byte-identical to the sequential run's.
 func snapshot(cl *nectar.Cluster) *obs.Snapshot {
-	return obs.Ensure(cl.K).Metrics().Snapshot(cl.Now())
+	return cl.MetricsSnapshot()
 }
 
 // mbps converts bytes over a duration to megabits per second.

@@ -37,12 +37,7 @@ func Fig6(cost *model.CostModel) (*Fig6Result, error) {
 		cost = model.Default1990()
 	}
 	cl, a, b := newCluster(cost, false)
-	marks := map[string]sim.Time{}
-	cl.K.SetTracer(func(name string, at sim.Time) {
-		if _, seen := marks[name]; !seen {
-			marks[name] = at // keep the first occurrence of each stage
-		}
-	})
+	marks := traceMarks(cl) // first occurrence of each stage, cluster-wide
 
 	boxB := b.Mailboxes.Create("sink")
 	addrB := wire.MailboxAddr{Node: b.ID, Box: boxB.ID()}

@@ -28,11 +28,15 @@ type QueueBench struct {
 }
 
 // SweepReport compares sequential vs parallel wall clock for one figure
-// sweep, with identical-output verification.
+// sweep, with identical-output verification. WorkersRequested is the
+// caller's -parallel setting; Workers is the effective pool size after
+// runJobs clamps it to the job count, so the JSON records both what was
+// asked for and what actually ran.
 type SweepReport struct {
 	Experiment        string  `json:"experiment"`
 	Points            int     `json:"points"`
-	Workers           int     `json:"workers"`
+	WorkersRequested  int     `json:"workers_requested"`
+	Workers           int     `json:"workers_effective"`
 	SequentialSeconds float64 `json:"sequential_seconds"`
 	ParallelSeconds   float64 `json:"parallel_seconds"`
 	Speedup           float64 `json:"speedup"`
@@ -184,10 +188,16 @@ func Fig7WallClock(cost *model.CostModel, sizes []int, workers int) (*SweepRepor
 	}
 	parS := time.Since(t0).Seconds()
 
+	points := 3 * len(sizes)
+	effective := workers
+	if effective > points {
+		effective = points // runJobs never runs more workers than jobs
+	}
 	rep := &SweepReport{
 		Experiment:        "fig7",
-		Points:            3 * len(sizes),
-		Workers:           workers,
+		Points:            points,
+		WorkersRequested:  workers,
+		Workers:           effective,
 		SequentialSeconds: seqS,
 		ParallelSeconds:   parS,
 		Identical:         FormatCurves("x", seq) == FormatCurves("x", par),
@@ -212,8 +222,8 @@ func (r *KernelPerfReport) Format() string {
 	out += row("fire+stop (container/heap)", r.FireStopBaseline)
 	out += fmt.Sprintf("speedup: dispatch %.2fx, fire+stop %.2fx\n", r.DispatchSpeedup, r.FireStopSpeedup)
 	if s := r.Sweep; s != nil {
-		out += fmt.Sprintf("%s sweep (%d points): sequential %.2fs, %d workers %.2fs -> %.2fx, identical=%v\n",
-			s.Experiment, s.Points, s.SequentialSeconds, s.Workers, s.ParallelSeconds, s.Speedup, s.Identical)
+		out += fmt.Sprintf("%s sweep (%d points): sequential %.2fs, %d workers (%d requested) %.2fs -> %.2fx, identical=%v\n",
+			s.Experiment, s.Points, s.SequentialSeconds, s.Workers, s.WorkersRequested, s.ParallelSeconds, s.Speedup, s.Identical)
 	}
 	return out
 }

@@ -27,12 +27,7 @@ func Micro(cost *model.CostModel) (*MicroResult, error) {
 	// and observe the arrival timestamp at CAB B minus the wire-exit time.
 	{
 		cl, a, b := newCluster(cost, false)
-		marks := map[string]sim.Time{}
-		cl.K.SetTracer(func(name string, at sim.Time) {
-			if _, ok := marks[name]; !ok {
-				marks[name] = at
-			}
-		})
+		marks := traceMarks(cl)
 		box := b.Mailboxes.Create("sink")
 		done := false
 		b.CAB.Sched.Fork("rx", threads.SystemPriority, func(t *threads.Thread) {

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nectar"
+	"nectar/internal/model"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+// Sharded-execution report (BENCH_pdes.json): wall-clock cost of the same
+// multi-node workload run sequentially (one kernel) and sharded (one
+// kernel per shard, coupled by the conservative lookahead scheduler),
+// with byte-identity of the virtual-time results verified in-process.
+// The checksum section rides along: it is the other wall-clock
+// optimisation of this change, measured with testing.Benchmark against
+// the scalar reference.
+
+// ChecksumBench compares the word-at-a-time Internet checksum against the
+// two-bytes-per-iteration scalar loop on one buffer size.
+type ChecksumBench struct {
+	SizeB      int     `json:"size_bytes"`
+	WordMBps   float64 `json:"word_at_a_time_mbps"`
+	ScalarMBps float64 `json:"scalar_mbps"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// PdesReport is the schema of BENCH_pdes.json.
+type PdesReport struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU is the host's usable core count; a speedup near or below 1.0
+	// with NumCPU <= shards means the host could not physically run the
+	// shard workers in parallel, not that the coupling failed to overlap.
+	NumCPU int `json:"num_cpu"`
+
+	Nodes           int `json:"nodes"`
+	Flows           int `json:"flows"`
+	MessagesPerFlow int `json:"messages_per_flow"`
+	MessageBytes    int `json:"message_bytes"`
+	// Windows is the number of conservative safe windows the sharded run
+	// executed; events-per-window is the batching the lookahead bought.
+	Windows uint64 `json:"windows"`
+
+	// Workers are shard kernels, each on its own goroutine. Requested is
+	// the -shards argument; effective is the shard count the cluster
+	// actually ran with (the two differ only if the request was invalid).
+	WorkersRequested int `json:"workers_requested"`
+	WorkersEffective int `json:"workers_effective"`
+
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ShardedSeconds    float64 `json:"sharded_seconds"`
+	Speedup           float64 `json:"speedup"`
+	// Identical means the sharded run's per-flow table and merged metrics
+	// snapshot are byte-identical to the sequential run's.
+	Identical bool `json:"identical_output"`
+
+	// Table is the per-flow virtual-time result both runs produced.
+	Table string `json:"table"`
+
+	Checksum ChecksumBench `json:"checksum"`
+}
+
+// pdesFlowResult is the virtual-time outcome of one pdes run.
+type pdesFlowResult struct {
+	table   string
+	metrics []byte
+	wallS   float64
+	windows uint64 // safe windows executed (0 when sequential)
+}
+
+// runPdesFlows drives nodes/2 disjoint RMP flows (node 2i -> node 2i+1,
+// each perFlow messages of msgBytes) on one cluster and returns the
+// per-flow throughput table, the metrics snapshot JSON, and the wall
+// clock. shards < 2 runs sequentially on a single kernel. With
+// round-robin shard assignment every flow crosses the HUB between
+// shards, so the sharded run exercises the coupling on its data and ack
+// paths in both directions.
+func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int) (*pdesFlowResult, error) {
+	var cfg nectar.Config
+	cfg.Cost = cost
+	if shards > 1 {
+		cfg.Shards = shards
+	}
+	start := time.Now()
+	cl := nectar.NewCluster(&cfg)
+	ns := make([]*nectar.Node, nodes)
+	for i := range ns {
+		ns[i] = cl.AddNode()
+	}
+
+	nFlows := nodes / 2
+	ends := make([]sim.Time, nFlows)
+	done := make([]bool, nFlows)
+	routes := make([][2]int, nFlows)
+	for fi := 0; fi < nFlows; fi++ {
+		routes[fi] = [2]int{2 * fi, 2*fi + 1}
+		if fi%2 == 1 {
+			// Alternate flow direction so that, under round-robin shard
+			// assignment, every shard carries both senders and receivers
+			// and windows have work on all shards at once.
+			routes[fi] = [2]int{2*fi + 1, 2 * fi}
+		}
+	}
+	for fi := 0; fi < nFlows; fi++ {
+		fi, src, dst := fi, ns[routes[fi][0]], ns[routes[fi][1]]
+		sink := dst.Mailboxes.Create(fmt.Sprintf("pdes.flow%d", fi))
+		sink.SetCapacity(wire.MaxPayload * 4)
+		addr := wire.MailboxAddr{Node: dst.ID, Box: sink.ID()}
+		dst.CAB.Sched.Fork("drain", threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			for n := 0; n < perFlow; n++ {
+				m := sink.BeginGet(ctx)
+				sink.EndGet(ctx, m)
+			}
+			ends[fi] = th.Now()
+			done[fi] = true
+		})
+		src.CAB.Sched.Fork("blast", threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			payload := make([]byte, msgBytes)
+			for i := range payload {
+				payload[i] = byte(i * (fi + 3))
+			}
+			for s := 0; s < perFlow; s++ {
+				payload[0] = byte(s)
+				if st := src.Transports.RMP.SendBlocking(ctx, addr, 0, payload); st != 1 {
+					panic(fmt.Sprintf("pdes flow %d send %d failed: status %d", fi, s, st))
+				}
+			}
+		})
+	}
+
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() {
+		if err := cl.RunFor(sim.Millisecond); err != nil {
+			return nil, err
+		}
+		if sim.Duration(cl.Now()) > maxVirtual {
+			return nil, fmt.Errorf("pdes: workload exceeded %v of virtual time", maxVirtual)
+		}
+	}
+	metrics := cl.MetricsSnapshot().JSON()
+	wall := time.Since(start).Seconds()
+	windows := cl.Windows()
+
+	table := fmt.Sprintf("%6s %10s %12s %12s\n", "flow", "route", "done(us)", "Mbit/s")
+	for fi := 0; fi < nFlows; fi++ {
+		table += fmt.Sprintf("%6d %7d->%d %12.1f %12.1f\n",
+			fi, routes[fi][0], routes[fi][1], float64(ends[fi])/1e3,
+			mbps(perFlow*msgBytes, sim.Duration(ends[fi])))
+	}
+	return &pdesFlowResult{table: table, metrics: metrics, wallS: wall, windows: windows}, nil
+}
+
+// checksumBench measures the word-at-a-time checksum against the scalar
+// reference loop on an 8 KB buffer (the paper's largest message size).
+func checksumBench() ChecksumBench {
+	const size = 8192
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	var sink uint32
+	run := func(fn func(uint32, []byte) uint32) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				sink = fn(0, data)
+			}
+		})
+		if r.T <= 0 {
+			return 0
+		}
+		return float64(r.N) * size / r.T.Seconds() / 1e6
+	}
+	cb := ChecksumBench{
+		SizeB:      size,
+		WordMBps:   run(wire.SumWords),
+		ScalarMBps: run(scalarSumWords),
+	}
+	_ = sink
+	if cb.ScalarMBps > 0 {
+		cb.Speedup = cb.WordMBps / cb.ScalarMBps
+	}
+	return cb
+}
+
+// scalarSumWords is the two-bytes-per-iteration checksum loop, duplicated
+// here (wire keeps its copy unexported) as the benchmark baseline.
+func scalarSumWords(sum uint32, data []byte) uint32 {
+	acc := uint64(sum)
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint64(data[i])<<8 | uint64(data[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint64(data[n-1]) << 8
+	}
+	acc = acc>>32 + acc&0xffffffff
+	acc = acc>>32 + acc&0xffffffff
+	return uint32(acc)
+}
+
+// Pdes runs the sharded-execution experiment: a 2*shards-node cluster
+// (at least 4 nodes) with one RMP flow per node pair, once sequentially
+// and once with `shards` shard kernels, verifying byte-identity of the
+// flow table and metrics snapshot and reporting the wall-clock ratio.
+func Pdes(cost *model.CostModel, shards int) (*PdesReport, error) {
+	if shards < 2 {
+		shards = 2
+	}
+	if shards > 8 {
+		shards = 8 // the HUB has 16 ports; keep >= 2 nodes per shard
+	}
+	nodes := 4 * shards
+	if nodes > 16 {
+		nodes = 16 // single 16-port HUB
+	}
+	const perFlow, msgBytes = 192, 1024
+
+	seq, err := runPdesFlows(cost, 1, nodes, perFlow, msgBytes)
+	if err != nil {
+		return nil, fmt.Errorf("sequential run: %w", err)
+	}
+	shd, err := runPdesFlows(cost, shards, nodes, perFlow, msgBytes)
+	if err != nil {
+		return nil, fmt.Errorf("sharded run: %w", err)
+	}
+
+	r := &PdesReport{
+		Date:              time.Now().UTC().Format("2006-01-02"),
+		GoVersion:         runtime.Version(),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		Nodes:             nodes,
+		Flows:             nodes / 2,
+		MessagesPerFlow:   perFlow,
+		MessageBytes:      msgBytes,
+		Windows:           shd.windows,
+		WorkersRequested:  shards,
+		WorkersEffective:  shards,
+		SequentialSeconds: seq.wallS,
+		ShardedSeconds:    shd.wallS,
+		Identical:         seq.table == shd.table && bytes.Equal(seq.metrics, shd.metrics),
+		Table:             seq.table,
+		Checksum:          checksumBench(),
+	}
+	if shd.wallS > 0 {
+		r.Speedup = seq.wallS / shd.wallS
+	}
+	return r, nil
+}
+
+// Format renders the report for the CLI.
+func (r *PdesReport) Format() string {
+	out := "Sharded conservative parallel simulation (lookahead = HUB setup)\n"
+	out += r.Table
+	out += fmt.Sprintf("%d nodes, %d flows x %d msgs x %dB, %d safe windows\n",
+		r.Nodes, r.Flows, r.MessagesPerFlow, r.MessageBytes, r.Windows)
+	out += fmt.Sprintf("sequential %.2fs, %d shards %.2fs -> %.2fx, identical=%v (gomaxprocs=%d, cpus=%d)\n",
+		r.SequentialSeconds, r.WorkersEffective, r.ShardedSeconds, r.Speedup, r.Identical, r.GoMaxProcs, r.NumCPU)
+	out += fmt.Sprintf("checksum (%dB): word-at-a-time %.0f MB/s vs scalar %.0f MB/s -> %.2fx\n",
+		r.Checksum.SizeB, r.Checksum.WordMBps, r.Checksum.ScalarMBps, r.Checksum.Speedup)
+	return out
+}
+
+// WriteJSON writes the report to path.
+func (r *PdesReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

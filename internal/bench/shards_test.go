@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nectar/internal/obs"
+)
+
+// withShards runs fn with the experiment shard count set to n, restoring
+// the sequential default afterwards.
+func withShards(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := ExperimentShards()
+	SetExperimentShards(n)
+	defer SetExperimentShards(old)
+	fn()
+}
+
+// snapsJSON renders a snapshot map deterministically for comparison
+// (map iteration order does not matter: keys sort under json.Marshal).
+func snapsJSON(t *testing.T, snaps map[string]*obs.Snapshot) string {
+	t.Helper()
+	m := make(map[string]json.RawMessage, len(snaps))
+	for k, s := range snaps {
+		if s != nil {
+			m[k] = s.JSON()
+		}
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardedExperimentsIdentical asserts the contract SetExperimentShards
+// documents: opting experiment clusters into sharded execution changes
+// only wall-clock time — every table and metrics snapshot is
+// byte-identical to the sequential run's. Covered here on reduced sweeps
+// of the figure experiments (CAB-to-CAB and host-to-host paths), Table 1,
+// Figure 6, and the micro-measurements.
+func TestShardedExperimentsIdentical(t *testing.T) {
+	sizes := []int{64, 1024}
+
+	t.Run("fig7", func(t *testing.T) {
+		seqC, seqS, err := Fig7(nil, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shdC []Curve
+		var shdS map[string]*obs.Snapshot
+		withShards(t, 2, func() {
+			shdC, shdS, err = Fig7(nil, sizes)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := FormatCurves("x", shdC), FormatCurves("x", seqC); got != want {
+			t.Errorf("sharded fig7 differs:\nseq:\n%s\nshd:\n%s", want, got)
+		}
+		if got, want := snapsJSON(t, shdS), snapsJSON(t, seqS); got != want {
+			t.Error("sharded fig7 snapshots differ from sequential")
+		}
+	})
+
+	t.Run("fig8", func(t *testing.T) {
+		seqC, seqS, err := Fig8(nil, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shdC []Curve
+		var shdS map[string]*obs.Snapshot
+		withShards(t, 2, func() {
+			shdC, shdS, err = Fig8(nil, sizes)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := FormatCurves("x", shdC), FormatCurves("x", seqC); got != want {
+			t.Errorf("sharded fig8 differs:\nseq:\n%s\nshd:\n%s", want, got)
+		}
+		if got, want := snapsJSON(t, shdS), snapsJSON(t, seqS); got != want {
+			t.Error("sharded fig8 snapshots differ from sequential")
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		seq, err := Table1(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shd *Table1Result
+		withShards(t, 2, func() {
+			shd, err = Table1(nil)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shd.Format() != seq.Format() {
+			t.Errorf("sharded table1 differs:\nseq:\n%s\nshd:\n%s", seq.Format(), shd.Format())
+		}
+	})
+
+	t.Run("fig6", func(t *testing.T) {
+		seq, err := Fig6(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shd *Fig6Result
+		withShards(t, 2, func() {
+			shd, err = Fig6(nil)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shd.Format() != seq.Format() {
+			t.Errorf("sharded fig6 differs:\nseq:\n%s\nshd:\n%s", seq.Format(), shd.Format())
+		}
+	})
+
+	t.Run("micro", func(t *testing.T) {
+		seq, err := Micro(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shd *MicroResult
+		withShards(t, 2, func() {
+			shd, err = Micro(nil)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shd.Format() != seq.Format() {
+			t.Errorf("sharded micro differs:\nseq:\n%s\nshd:\n%s", seq.Format(), shd.Format())
+		}
+	})
+}
+
+// TestPdesReport runs the pdes experiment end to end on a small workload
+// shape by driving runPdesFlows directly, requiring identical virtual-time
+// output between sequential and 2-shard runs.
+func TestPdesReport(t *testing.T) {
+	seq, err := runPdesFlows(nil, 1, 4, 24, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, err := runPdesFlows(nil, 2, 4, 24, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.table != shd.table {
+		t.Errorf("pdes tables differ:\nseq:\n%s\nshd:\n%s", seq.table, shd.table)
+	}
+	if string(seq.metrics) != string(shd.metrics) {
+		t.Error("pdes metrics snapshots differ between sequential and sharded")
+	}
+	if seq.table == "" {
+		t.Fatal("empty flow table")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"nectar/internal/hw/mem"
 	"nectar/internal/model"
 	"nectar/internal/obs"
+	"nectar/internal/pool"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/threads"
 	"nectar/internal/sim"
@@ -43,7 +44,7 @@ func (d *RxDesc) Release() {
 	}
 	d.Frame = nil
 	if d.cab != nil {
-		d.cab.descFree = append(d.cab.descFree, d)
+		d.cab.descFree.Put(d)
 	}
 }
 
@@ -91,7 +92,7 @@ type CAB struct {
 	// Fast-path recycling (see fiber.Pool): outbound frame/packet reuse
 	// and receive-descriptor reuse.
 	pool     *fiber.Pool
-	descFree []*RxDesc
+	descFree pool.FreeList[*RxDesc]
 
 	markArrive string // precomputed "cab.rx.arrive.<node>" (hot path)
 
@@ -310,10 +311,7 @@ func (c *CAB) StartRxDMA(d *RxDesc, dst []byte, done func(ok bool)) {
 
 // getDesc returns a receive descriptor from the CAB's free list.
 func (c *CAB) getDesc() *RxDesc {
-	if n := len(c.descFree); n > 0 {
-		d := c.descFree[n-1]
-		c.descFree[n-1] = nil
-		c.descFree = c.descFree[:n-1]
+	if d, ok := c.descFree.Get(); ok {
 		return d
 	}
 	return &RxDesc{cab: c}

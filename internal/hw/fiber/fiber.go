@@ -39,6 +39,13 @@ type Packet struct {
 	pool *Pool // owning pool for Release; nil = GC-managed
 }
 
+// Disown detaches the packet from its owning pool: Release becomes a no-op
+// and the frame is left to the garbage collector. The sharded cluster calls
+// it when a packet crosses a shard boundary — pools are single-threaded by
+// construction, so a frame must never be returned to its origin shard's
+// pool from another shard's goroutine.
+func (p *Packet) Disown() { p.pool = nil }
+
 // WireLen is the packet's current on-the-wire length: a route-length byte,
 // the remaining route bytes, and the frame.
 func (p *Packet) WireLen() int { return 1 + len(p.Route) + len(p.Frame) }
@@ -62,6 +69,18 @@ type Link struct {
 	dst  Endpoint
 
 	freeAt sim.Time
+
+	// Gateway role (sharded execution): when this link feeds a HUB input
+	// port whose forwards may cross shard boundaries, it doubles as the
+	// shard's sim.Gateway, bounding the earliest possible cross-shard
+	// output. gwDelay is the HUB setup latency added to every forward;
+	// gwCross decides per packet (by its next route hop) whether the
+	// forward leaves the shard; gwPending holds the start times of
+	// cross-capable deliveries already in flight on this link, in
+	// monotonically non-decreasing order (links serialize).
+	gwDelay   sim.Duration
+	gwCross   func(port byte) bool
+	gwPending []sim.Time
 
 	// Fault injection.
 	dropNext    int
@@ -145,7 +164,51 @@ func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 	if l.obs.Tracing() {
 		l.obs.InstantArg(0, obs.LayerFiber, "tx", l.name, 0, pkt.WireLen())
 	}
+	if l.gwCross != nil && len(pkt.Route) > 0 && l.gwCross(pkt.Route[0]) {
+		// Cross-capable: its arrival constrains the shard's earliest
+		// output until the delivery fires (deliveries fire in start
+		// order, so popping the front matches this append).
+		l.gwPending = append(l.gwPending, start)
+		l.k.At(start, func() {
+			l.gwPending = l.gwPending[1:]
+			l.dst.PacketArriving(pkt, end)
+		})
+		return
+	}
 	l.k.At(start, func() { l.dst.PacketArriving(pkt, end) })
+}
+
+// SetGateway marks the link as a shard-boundary gateway: forwards of
+// packets arriving at its destination HUB port incur delay (the HUB setup
+// latency), and cross reports whether a packet whose next route hop is
+// port will leave the shard. The link then implements sim.Gateway.
+func (l *Link) SetGateway(delay sim.Duration, cross func(port byte) bool) {
+	l.gwDelay = delay
+	l.gwCross = cross
+}
+
+// EarliestOutput implements sim.Gateway: a lower bound on the timestamp of
+// any future cross-shard forward fed by this link, given the owning
+// domain's next event time. Two sources bound it: cross-capable deliveries
+// already in flight (gwPending), and hypothetical future sends, which
+// cannot start before the link is free nor before the domain's next event.
+// Every forward then adds the HUB setup delay — the lookahead that makes
+// conservative windows non-trivial even at zero queueing.
+func (l *Link) EarliestOutput(net sim.Time) sim.Time {
+	e := sim.MaxTime
+	if net < sim.MaxTime {
+		e = net
+		if l.freeAt > e {
+			e = l.freeAt
+		}
+	}
+	if len(l.gwPending) > 0 && l.gwPending[0] < e {
+		e = l.gwPending[0]
+	}
+	if e >= sim.MaxTime {
+		return sim.MaxTime
+	}
+	return e + sim.Time(l.gwDelay)
 }
 
 // Busy reports whether the fiber is occupied at the current instant.

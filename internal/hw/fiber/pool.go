@@ -1,5 +1,7 @@
 package fiber
 
+import "nectar/internal/pool"
+
 // Pool recycles Packet structs and frame buffers on the fast path
 // (CAB Transmit → fiber → HUB → CAB receive DMA). A Fig 7/8 sweep pushes
 // hundreds of thousands of frames through the wire path; without reuse each
@@ -19,8 +21,8 @@ package fiber
 //     no buffer space, start-of-data veto), and
 //   - CAB.StartRxDMA completion, after the CRC check and payload copy.
 type Pool struct {
-	frames  [][]byte
-	packets []*Packet
+	frames  pool.FreeList[[]byte]
+	packets pool.FreeList[*Packet]
 
 	// Stats: hits (reuses) vs misses (fresh allocations).
 	frameHits, frameMisses uint64
@@ -32,16 +34,13 @@ type Pool struct {
 // byte (header, payload, CRC trailer).
 func (p *Pool) GetFrame(n int) []byte {
 	if p != nil {
-		if m := len(p.frames); m > 0 {
-			f := p.frames[m-1]
-			if cap(f) >= n {
-				p.frames[m-1] = nil
-				p.frames = p.frames[:m-1]
-				p.frameHits++
-				return f[:n]
-			}
-			// Too small for this frame: leave it for a smaller send.
+		if f, ok := p.frames.Peek(); ok && cap(f) >= n {
+			p.frames.Get()
+			p.frameHits++
+			return f[:n]
 		}
+		// Empty, or the top frame is too small for this send: leave it
+		// for a smaller one.
 		p.frameMisses++
 	}
 	return make([]byte, n)
@@ -50,10 +49,7 @@ func (p *Pool) GetFrame(n int) []byte {
 // GetPacket returns a Packet owned by this pool; Release returns it.
 func (p *Pool) GetPacket() *Packet {
 	if p != nil {
-		if m := len(p.packets); m > 0 {
-			pkt := p.packets[m-1]
-			p.packets[m-1] = nil
-			p.packets = p.packets[:m-1]
+		if pkt, ok := p.packets.Get(); ok {
 			p.pktHits++
 			return pkt
 		}
@@ -71,12 +67,12 @@ func (pkt *Packet) Release() {
 		return
 	}
 	if pkt.Frame != nil {
-		p.frames = append(p.frames, pkt.Frame)
+		p.frames.Put(pkt.Frame)
 	}
 	pkt.Frame = nil
 	pkt.Route = nil
 	pkt.Circuit = false
-	p.packets = append(p.packets, pkt)
+	p.packets.Put(pkt)
 }
 
 // Stats reports (frame reuses, frame allocations, packet reuses, packet

@@ -19,6 +19,7 @@ package hub
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nectar/internal/hw/fiber"
 	"nectar/internal/model"
@@ -31,25 +32,30 @@ const DefaultPorts = 16
 
 // Hub is one crossbar switch.
 type Hub struct {
-	k     *sim.Kernel
-	cost  *model.CostModel
-	name  string
-	out   []*fiber.Link // indexed by output port; nil = unconnected
-	circ  []int         // output port -> input port holding a circuit, -1 = none
-	stats struct {
-		forwarded uint64
+	k       *sim.Kernel
+	cost    *model.CostModel
+	name    string
+	out     []*fiber.Link // indexed by output port; nil = unconnected
+	outDom  []*sim.Domain // owning shard of each output link; nil = local
+	circ    []int         // output port -> input port holding a circuit, -1 = none
+	sharded bool          // input ports run on several shards; circuits refused
+	stats   struct {
+		// forwarded is atomic because, under sharded execution, input
+		// ports on different shards forward concurrently. setupOps stays
+		// plain: controller commands are refused while sharded.
+		forwarded atomic.Uint64
 		setupOps  uint64
 	}
 }
 
 // New creates a HUB with n ports.
 func New(k *sim.Kernel, cost *model.CostModel, name string, n int) *Hub {
-	h := &Hub{k: k, cost: cost, name: name, out: make([]*fiber.Link, n), circ: make([]int, n)}
+	h := &Hub{k: k, cost: cost, name: name, out: make([]*fiber.Link, n), outDom: make([]*sim.Domain, n), circ: make([]int, n)}
 	for i := range h.circ {
 		h.circ[i] = -1
 	}
 	m := obs.Ensure(k).Metrics()
-	m.Gauge(obs.LayerFiber, "hub_forwarded", name, func() uint64 { return h.stats.forwarded })
+	m.Gauge(obs.LayerFiber, "hub_forwarded", name, func() uint64 { return h.stats.forwarded.Load() })
 	m.Gauge(obs.LayerFiber, "hub_setup_ops", name, func() uint64 { return h.stats.setupOps })
 	return h
 }
@@ -72,35 +78,65 @@ func (h *Hub) ConnectOut(p int, l *fiber.Link) {
 // input ports share forwarding logic; the port identity only matters for
 // circuit bookkeeping.
 func (h *Hub) InPort(p int) fiber.Endpoint {
-	return &inPort{hub: h, port: p}
+	return &inPort{hub: h, port: p, k: h.k}
 }
+
+// InPortOn returns the endpoint for input port p executing on kernel k as
+// part of domain dom (sharded execution: the port runs on the shard of the
+// CAB whose fiber feeds it, so arrival events never cross shards — only
+// forwards do). dom may be nil for a stand-alone kernel.
+func (h *Hub) InPortOn(p int, k *sim.Kernel, dom *sim.Domain) fiber.Endpoint {
+	return &inPort{hub: h, port: p, k: k, dom: dom}
+}
+
+// SetOutDomain records which shard owns the link leaving output port p.
+// Forwards from an input port on a different shard are routed through the
+// coupling as timestamped inter-domain messages instead of local events.
+func (h *Hub) SetOutDomain(p int, d *sim.Domain) { h.outDom[p] = d }
+
+// SetSharded marks the HUB as spanning shards: controller circuit commands
+// are refused, because a circuit forwards with zero switch delay and would
+// destroy the coupling's lookahead (and its port reservations would be
+// cross-shard shared state).
+func (h *Hub) SetSharded() { h.sharded = true }
 
 type inPort struct {
 	hub  *Hub
 	port int
+	k    *sim.Kernel // kernel the port's arrival events execute on
+	dom  *sim.Domain // owning shard; nil when unsharded
 }
 
 // PacketArriving implements cut-through forwarding: consume the packet's
 // next route byte and retransmit on that output port after the setup
 // delay. The outgoing serialization overlaps the incoming one.
+//
+// The retransmission is deferred to the instant the first byte leaves the
+// crossbar (arrival + setup delay) rather than performed synchronously at
+// arrival. Under sharded execution a forward to an output link owned by
+// another shard becomes a timestamped inter-domain message at exactly that
+// instant — the setup delay is the coupling's lookahead — and deferring
+// uniformly in both modes keeps per-link processing order, capture
+// timestamps, and trace instants identical between sequential and sharded
+// runs.
 func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 	h := ip.hub
 	if len(pkt.Route) == 0 {
-		h.k.Fatalf("hub %s: packet with exhausted route arrived on port %d", h.name, ip.port)
+		ip.k.Fatalf("hub %s: packet with exhausted route arrived on port %d", h.name, ip.port)
 		return
 	}
 	outPort := int(pkt.Route[0])
 	pkt.Route = pkt.Route[1:]
 	if outPort >= len(h.out) || h.out[outPort] == nil {
-		h.k.Fatalf("hub %s: route names unconnected port %d", h.name, outPort)
+		ip.k.Fatalf("hub %s: route names unconnected port %d", h.name, outPort)
 		return
 	}
 	if h.circ[outPort] >= 0 && !pkt.Circuit {
-		h.k.Fatalf("hub %s: packet-switched frame to port %d which is circuit-reserved", h.name, outPort)
+		ip.k.Fatalf("hub %s: packet-switched frame to port %d which is circuit-reserved", h.name, outPort)
 		return
 	}
 	if pkt.Circuit && h.circ[outPort] != ip.port {
-		h.k.Fatalf("hub %s: circuit frame on port %d but no circuit from input %d", h.name, outPort, ip.port)
+		ip.k.Fatalf("hub %s: circuit frame on port %d but no circuit from input %d", h.name, outPort, ip.port)
 		return
 	}
 	delay := h.cost.HubSetup
@@ -108,14 +144,27 @@ func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 		// The crossbar is already configured: only propagation remains.
 		delay = 0
 	}
-	h.stats.forwarded++
-	h.out[outPort].SendAt(pkt, h.k.Now()+sim.Time(delay))
+	h.stats.forwarded.Add(1)
+	out := h.out[outPort]
+	t := ip.k.Now() + sim.Time(delay)
+	if dst := h.outDom[outPort]; dst != nil && ip.dom != nil && dst != ip.dom {
+		// Cross-shard forward: the destination shard owns the output
+		// link. The packet leaves its origin shard for good, so detach
+		// it from its (single-threaded) pool first.
+		pkt.Disown()
+		ip.dom.Send(dst, t, func() { out.SendAt(pkt, t) })
+		return
+	}
+	ip.k.At(t, func() { out.SendAt(pkt, t) })
 }
 
 // OpenCircuit reserves output port out for traffic from input port in
 // (controller command). It charges the setup latency once; packets sent
 // with Circuit=true then cross with no per-packet setup.
 func (h *Hub) OpenCircuit(in, out int) error {
+	if h.sharded {
+		return fmt.Errorf("hub %s: circuits are not available under sharded execution (zero-lookahead forwarding)", h.name)
+	}
 	if h.circ[out] >= 0 {
 		return fmt.Errorf("hub %s: port %d already reserved by input %d", h.name, out, h.circ[out])
 	}
@@ -133,4 +182,4 @@ func (h *Hub) CloseCircuit(out int) {
 func (h *Hub) CircuitHolder(out int) int { return h.circ[out] }
 
 // Forwarded returns the number of packets forwarded.
-func (h *Hub) Forwarded() uint64 { return h.stats.forwarded }
+func (h *Hub) Forwarded() uint64 { return h.stats.forwarded.Load() }

@@ -1,0 +1,64 @@
+package pool
+
+import "testing"
+
+func TestLIFOOrder(t *testing.T) {
+	var f FreeList[int]
+	if _, ok := f.Get(); ok {
+		t.Fatal("Get on empty list reported ok")
+	}
+	if _, ok := f.Peek(); ok {
+		t.Fatal("Peek on empty list reported ok")
+	}
+	f.Put(1)
+	f.Put(2)
+	f.Put(3)
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	if v, ok := f.Peek(); !ok || v != 3 {
+		t.Fatalf("Peek = %d,%v, want 3,true", v, ok)
+	}
+	for want := 3; want >= 1; want-- {
+		v, ok := f.Get()
+		if !ok || v != want {
+			t.Fatalf("Get = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", f.Len())
+	}
+}
+
+// TestGetClearsSlot checks that popping zeroes the vacated slot, so the
+// backing array does not keep popped values reachable.
+func TestGetClearsSlot(t *testing.T) {
+	var f FreeList[*int]
+	x := new(int)
+	f.Put(x)
+	if v, ok := f.Get(); !ok || v != x {
+		t.Fatal("round-trip failed")
+	}
+	// Re-grow the slice within capacity and inspect the reused slot.
+	f.items = f.items[:1]
+	if f.items[0] != nil {
+		t.Fatal("Get left the vacated slot non-nil")
+	}
+}
+
+// TestSteadyStateAllocs is the guard the ip/cab/fiber call sites rely
+// on: once warm, a Get/Put cycle performs no allocations.
+func TestSteadyStateAllocs(t *testing.T) {
+	var f FreeList[[]byte]
+	f.Put(make([]byte, 64))
+	f.Put(make([]byte, 64))
+	allocs := testing.AllocsPerRun(1000, func() {
+		a, _ := f.Get()
+		b, _ := f.Get()
+		f.Put(a)
+		f.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f times per cycle, want 0", allocs)
+	}
+}

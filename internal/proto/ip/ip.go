@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"nectar/internal/obs"
+	"nectar/internal/pool"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
@@ -69,8 +70,8 @@ type Layer struct {
 	// allocating per packet. Free lists rather than single buffers
 	// because Compute yields virtual time, so several sends can be
 	// in flight on one CAB.
-	hdrFree  [][]byte
-	spanFree [][][]byte
+	hdrFree  pool.FreeList[[]byte]
+	spanFree pool.FreeList[[][]byte]
 
 	obs  *obs.Observer
 	node int
@@ -227,21 +228,17 @@ func (l *Layer) Output(ctx exec.Context, tpl wire.IPv4Header, payload ...[]byte)
 
 // getHdr returns a header marshal buffer from the free list.
 func (l *Layer) getHdr() []byte {
-	if n := len(l.hdrFree); n > 0 {
-		h := l.hdrFree[n-1]
-		l.hdrFree = l.hdrFree[:n-1]
+	if h, ok := l.hdrFree.Get(); ok {
 		return h
 	}
 	return make([]byte, wire.IPv4HeaderLen)
 }
 
-func (l *Layer) putHdr(h []byte) { l.hdrFree = append(l.hdrFree, h) }
+func (l *Layer) putHdr(h []byte) { l.hdrFree.Put(h) }
 
 // getSpans returns an empty gather-span slice from the free list.
 func (l *Layer) getSpans() [][]byte {
-	if n := len(l.spanFree); n > 0 {
-		s := l.spanFree[n-1]
-		l.spanFree = l.spanFree[:n-1]
+	if s, ok := l.spanFree.Get(); ok {
 		return s[:0]
 	}
 	return make([][]byte, 0, 4)
@@ -251,7 +248,7 @@ func (l *Layer) putSpans(s [][]byte) {
 	for i := range s {
 		s[i] = nil // drop payload references while pooled
 	}
-	l.spanFree = append(l.spanFree, s)
+	l.spanFree.Put(s)
 }
 
 // gatherRange appends the sub-spans of payload covering [off, off+n) to out.

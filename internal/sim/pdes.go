@@ -1,0 +1,426 @@
+// Conservative parallel discrete-event simulation: a Coupling runs several
+// Kernels ("domains") concurrently on OS threads under a synchronous
+// safe-window scheduler (the YAWNS/LBTS family of algorithms).
+//
+// The correctness argument is the classical conservative one. Each domain d
+// exposes, through its registered Gateways, an Earliest Output Time: a lower
+// bound on the virtual timestamp of any future inter-domain message it can
+// emit given that its next local event is at NET(d). The scheduler picks the
+// global bound
+//
+//	B = min over domains d, gateways g of g.EarliestOutput(NET(d))
+//
+// and lets every domain execute all events with timestamp strictly below B
+// in parallel — no message with timestamp < B can ever arrive, so the window
+// is safe. Inter-domain messages produced inside the window (Domain.Send)
+// carry timestamps >= B by construction; they are buffered in per-source
+// outboxes and injected into their destination kernels at the barrier, in
+// deterministic (source domain index, emission order) order, before the next
+// window is chosen.
+//
+// Progress is guaranteed whenever every gateway has strictly positive
+// lookahead (EarliestOutput(net) > net): then B > min NET and at least one
+// domain executes at least one event per window. A zero-lookahead gateway
+// (e.g. a Nectar circuit, which forwards with zero switch delay) would stall
+// the scheduler, which is reported as an error rather than spinning.
+//
+// Determinism: within a domain the kernel's (time, seq) order is untouched;
+// across domains every scheduler decision (NET, B, outbox drain order) is a
+// pure function of simulation state, so repeated runs are bit-identical. The
+// residual difference from a sequential single-kernel run is the seq
+// tiebreak among events at the *exact same nanosecond* that are causally
+// independent across domains; internal/obs canonicalization makes rendered
+// output order-independent for such ties.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+)
+
+// MaxTime is the "never" sentinel used by the coupling scheduler and by
+// Gateway implementations. It is far below math.MaxInt64 so that adding a
+// lookahead to it cannot overflow.
+const MaxTime Time = math.MaxInt64 / 4
+
+// Gateway is an inter-domain output port. EarliestOutput returns a lower
+// bound on the timestamp of any future inter-domain message emitted via
+// this gateway, given that the owning domain's next local event is at net
+// (MaxTime when the domain is idle). Implementations should saturate at
+// MaxTime rather than overflow. It is only called between windows, never
+// concurrently with domain execution.
+type Gateway interface {
+	EarliestOutput(net Time) Time
+}
+
+// pendingInj is one buffered inter-domain message.
+type pendingInj struct {
+	at Time
+	fn func()
+}
+
+// Domain is one kernel participating in a Coupling.
+type Domain struct {
+	c        *Coupling
+	k        *Kernel
+	id       int
+	gateways []Gateway
+	out      [][]pendingInj // outbox per destination domain id
+
+	// Adaptive window barrier. Safe windows are short (the HUB setup
+	// lookahead is 700 ns of virtual time, typically a handful of events
+	// costing a few microseconds of wall clock), so parking the worker
+	// goroutine on a channel at every barrier costs more than the window
+	// itself. The scheduler publishes each window by storing its bound and
+	// then a fresh sequence number; the worker executes and stores the
+	// sequence back. Both sides first spin on the atomics (sync/atomic
+	// gives the barrier its happens-before edges) and only park on their
+	// wake channel after spinLimit polls, so in steady state windows hand
+	// off in nanoseconds while an idle simulation still blocks properly.
+	winSeq  atomic.Uint64 // scheduler -> worker: window sequence
+	doneSeq atomic.Uint64 // worker -> scheduler: completed sequence
+	winB    atomic.Int64  // bound of the published window
+	werr    error         // set by the worker before doneSeq
+	stop    atomic.Bool   // scheduler -> worker: exit when idle
+	exited  chan struct{} // closed by the worker on exit
+	wp      parker        // worker's park/wake point
+}
+
+// spinLimit bounds busy-polling at the window barrier before parking on
+// the wake channel (roughly a few microseconds of polling).
+const spinLimit = 4096
+
+// parker is a two-phase wait point: the waiter advertises that it is
+// about to block, re-checks its condition, and then receives on wake; the
+// signaler stores the condition and sends a token only if the waiter is
+// (or is about to be) parked. The buffered channel makes the token send
+// non-blocking; a stale token at most causes one spurious re-check, never
+// a missed wakeup, because the waiter always re-checks its condition
+// between parking and blocking.
+type parker struct {
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+func newParker() parker { return parker{wake: make(chan struct{}, 1)} }
+
+// wakeIf sends a wake token if the waiter advertised itself parked.
+func (p *parker) wakeIf() {
+	if p.parked.Load() {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// awaitWindow blocks until a window newer than last is published (returning
+// its sequence) or the scheduler asks the worker to exit (returning ok =
+// false). It spins first and parks only when the simulation goes quiet.
+func (d *Domain) awaitWindow(last uint64) (seq uint64, ok bool) {
+	for {
+		for i := 0; i < d.c.spin; i++ {
+			if s := d.winSeq.Load(); s != last {
+				return s, true
+			}
+			if d.stop.Load() {
+				return 0, false
+			}
+		}
+		d.wp.parked.Store(true)
+		if d.winSeq.Load() == last && !d.stop.Load() {
+			<-d.wp.wake
+		}
+		d.wp.parked.Store(false)
+		if s := d.winSeq.Load(); s != last {
+			return s, true
+		}
+		if d.stop.Load() {
+			return 0, false
+		}
+	}
+}
+
+// awaitDone blocks until domain d reports window seq complete, spinning
+// first and parking on the scheduler's wake point if the worker is slow.
+func (c *Coupling) awaitDone(d *Domain, seq uint64) {
+	for {
+		for i := 0; i < c.spin; i++ {
+			if d.doneSeq.Load() == seq {
+				return
+			}
+		}
+		c.sp.parked.Store(true)
+		if d.doneSeq.Load() != seq {
+			<-c.sp.wake
+		}
+		c.sp.parked.Store(false)
+		if d.doneSeq.Load() == seq {
+			return
+		}
+	}
+}
+
+// Kernel returns the domain's kernel.
+func (d *Domain) Kernel() *Kernel { return d.k }
+
+// ID returns the domain's index within its Coupling.
+func (d *Domain) ID() int { return d.id }
+
+// AddGateway registers an inter-domain output port with the domain. Every
+// path by which the domain can emit inter-domain messages must be covered
+// by a gateway, or the safe bound would be wrong.
+func (d *Domain) AddGateway(g Gateway) { d.gateways = append(d.gateways, g) }
+
+// Send delivers fn at virtual time at in dst. Same-domain sends degenerate
+// to Kernel.At. Cross-domain sends are buffered and injected at the next
+// window barrier; at must be >= the current safe bound, which holds by
+// construction when at carries a gateway's lookahead. Send must be called
+// from within d's executing window (i.e. from an event on d's kernel).
+func (d *Domain) Send(dst *Domain, at Time, fn func()) {
+	if dst == d {
+		d.k.At(at, fn)
+		return
+	}
+	d.out[dst.id] = append(d.out[dst.id], pendingInj{at: at, fn: fn})
+}
+
+// Coupling couples kernels into one logical simulation advancing in
+// conservative safe windows. Domains are executed on their own goroutines;
+// the scheduler synchronizes them at window barriers, so model code still
+// never needs locks (each kernel remains single-threaded).
+type Coupling struct {
+	domains []*Domain
+	windows uint64 // safe windows executed (scheduler statistics)
+	multi   uint64 // windows with >1 active domain (true parallelism)
+	sp      parker // scheduler's park/wake point (workers signal done)
+	spin    int    // barrier poll budget before parking (set per run)
+}
+
+// Windows reports how many safe windows the scheduler has executed; the
+// ratio of events to windows is the effective batching the lookahead
+// bought.
+func (c *Coupling) Windows() uint64 { return c.windows }
+
+// MultiWindows reports how many of those windows had more than one active
+// domain (i.e. actually executed in parallel).
+func (c *Coupling) MultiWindows() uint64 { return c.multi }
+
+// NewCoupling creates an empty coupling.
+func NewCoupling() *Coupling { return &Coupling{} }
+
+// AddDomain wraps k as a new domain of the coupling.
+func (c *Coupling) AddDomain(k *Kernel) *Domain {
+	d := &Domain{c: c, k: k, id: len(c.domains)}
+	c.domains = append(c.domains, d)
+	return d
+}
+
+// Domains returns the number of domains.
+func (c *Coupling) Domains() int { return len(c.domains) }
+
+// Domain returns domain i.
+func (c *Coupling) Domain(i int) *Domain { return c.domains[i] }
+
+// Now returns the coupling's virtual time: the maximum over domain clocks
+// (all clocks agree after RunUntil/RunFor).
+func (c *Coupling) Now() Time {
+	var t Time
+	for _, d := range c.domains {
+		if n := d.k.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Run executes the coupled simulation until every domain's queue is empty.
+// Like Kernel.Run, blocked procs at drain time are a deadlock.
+func (c *Coupling) Run() error { return c.run(MaxTime, true) }
+
+// RunUntil executes events with timestamps <= horizon in every domain and
+// then advances all clocks to horizon.
+func (c *Coupling) RunUntil(horizon Time) error { return c.run(horizon, false) }
+
+// RunFor is RunUntil(Now()+d).
+func (c *Coupling) RunFor(d Duration) error { return c.run(c.Now()+Time(d), false) }
+
+func (c *Coupling) run(horizon Time, drain bool) error {
+	if len(c.domains) == 0 {
+		return nil
+	}
+	if len(c.domains) == 1 {
+		// Degenerate coupling: no windows needed, run the kernel directly.
+		d := c.domains[0]
+		if drain {
+			return d.k.Run()
+		}
+		return d.k.RunUntil(horizon)
+	}
+	for _, d := range c.domains {
+		for len(d.out) < len(c.domains) {
+			d.out = append(d.out, nil)
+		}
+	}
+	// One worker goroutine per domain for the duration of this run. The
+	// winSeq/doneSeq atomics give the barrier its happens-before edges:
+	// everything a worker did inside a window is visible to the scheduler
+	// after it loads doneSeq == seq, and everything the scheduler injected
+	// is visible to the worker after it loads the fresh winSeq.
+	if c.sp.wake == nil {
+		c.sp = newParker()
+	}
+	// Spin at the barrier only when there are genuinely enough cores to
+	// run every domain worker plus the scheduler simultaneously; otherwise
+	// busy-polling steals the very core the awaited party needs, and
+	// parking promptly (plain channel blocking) is strictly better.
+	procs := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < procs {
+		procs = n
+	}
+	c.spin = 1
+	if procs > len(c.domains) {
+		c.spin = spinLimit
+	}
+	for _, d := range c.domains {
+		d.stop.Store(false)
+		if d.wp.wake == nil {
+			d.wp = newParker()
+		}
+		d.exited = make(chan struct{})
+		go func(d *Domain) {
+			defer close(d.exited)
+			// Resume from the last *completed* window: the scheduler may
+			// publish the first window of this run before the worker's
+			// first load, so initializing from winSeq would skip it.
+			last := d.doneSeq.Load()
+			for {
+				s, ok := d.awaitWindow(last)
+				if !ok {
+					return
+				}
+				d.werr = d.k.runBounded(Time(d.winB.Load()))
+				d.doneSeq.Store(s)
+				d.c.sp.wakeIf()
+				last = s
+			}
+		}(d)
+	}
+	defer func() {
+		for _, d := range c.domains {
+			d.stop.Store(true)
+			d.wp.wakeIf()
+		}
+		for _, d := range c.domains {
+			<-d.exited
+		}
+	}()
+	active := make([]*Domain, 0, len(c.domains))
+
+	for {
+		// Next Event Time per domain; MaxTime = idle.
+		minNET := MaxTime
+		for _, d := range c.domains {
+			if at, ok := d.k.NextEventAt(); ok && at < minNET {
+				minNET = at
+			}
+		}
+		if minNET == MaxTime {
+			// Globally idle.
+			if !drain {
+				for _, d := range c.domains {
+					d.k.advanceTo(horizon)
+				}
+				return nil
+			}
+			var blocked []string
+			for _, d := range c.domains {
+				if len(d.k.procs) > 0 {
+					blocked = append(blocked, fmt.Sprintf("domain %d: %s", d.id, d.k.procNames()))
+				}
+			}
+			if len(blocked) > 0 {
+				return fmt.Errorf("sim: deadlock at %v: blocked procs: %s", c.Now(), strings.Join(blocked, "; "))
+			}
+			return nil
+		}
+		if !drain && minNET > horizon {
+			for _, d := range c.domains {
+				d.k.advanceTo(horizon)
+			}
+			return nil
+		}
+		// Safe bound: min over gateways of earliest inter-domain output.
+		b := MaxTime
+		for _, d := range c.domains {
+			net := MaxTime
+			if at, ok := d.k.NextEventAt(); ok {
+				net = at
+			}
+			for _, g := range d.gateways {
+				if e := g.EarliestOutput(net); e < b {
+					b = e
+				}
+			}
+		}
+		if b <= minNET {
+			return fmt.Errorf("sim: coupling stalled at %v: safe bound %v <= next event %v (a gateway has zero lookahead)",
+				c.Now(), b, minNET)
+		}
+		if !drain && b > horizon+1 {
+			b = horizon + 1 // runBounded is exclusive: executes events <= horizon
+		}
+		// Parallel window: every domain with events in [now, b) executes
+		// them; idle domains are skipped (their clocks advance lazily). A
+		// window with a single active domain runs inline on the scheduler
+		// goroutine — its kernel's state is synchronized by the previous
+		// barrier, and the next winSeq store republishes it to the worker.
+		c.windows++
+		seq := c.windows
+		active = active[:0]
+		for _, d := range c.domains {
+			if at, ok := d.k.NextEventAt(); ok && at < b {
+				active = append(active, d)
+			}
+		}
+		var firstErr error
+		if len(active) == 1 {
+			firstErr = active[0].k.runBounded(b)
+		} else {
+			c.multi++
+			for _, d := range active {
+				d.winB.Store(int64(b))
+				d.winSeq.Store(seq)
+				d.wp.wakeIf()
+			}
+			for _, d := range active {
+				c.awaitDone(d, seq)
+				if err := d.werr; err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		// Barrier: drain outboxes in deterministic order (source domain
+		// index, then emission order). Every buffered timestamp is >= b >
+		// every destination clock, so At never schedules into the past.
+		for _, src := range c.domains {
+			for dstID := range src.out {
+				injs := src.out[dstID]
+				if len(injs) == 0 {
+					continue
+				}
+				dst := c.domains[dstID]
+				for _, inj := range injs {
+					dst.k.At(inj.at, inj.fn)
+				}
+				src.out[dstID] = injs[:0]
+			}
+		}
+	}
+}

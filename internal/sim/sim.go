@@ -409,6 +409,48 @@ func (k *Kernel) procNames() string {
 // Idle reports whether no events are pending.
 func (k *Kernel) Idle() bool { return len(k.heap) == 0 }
 
+// NextEventAt reports the timestamp of the earliest pending event, or
+// (0, false) when the queue is empty. The coupling scheduler uses it to
+// compute each domain's Next Event Time without disturbing the queue.
+func (k *Kernel) NextEventAt() (Time, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
+}
+
+// runBounded executes every event with timestamp strictly less than bound
+// and returns without advancing the clock past the last executed event.
+// Unlike RunUntil it does not finalize the clock at the bound: the caller
+// (a Coupling window scheduler) may still inject events at times >= the
+// current bound before choosing the next one. Blocked procs are never a
+// deadlock under runBounded.
+func (k *Kernel) runBounded(bound Time) error {
+	if k.running {
+		panic("sim: Run re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.failure == nil {
+		if len(k.heap) == 0 || k.heap[0].at >= bound {
+			break
+		}
+		if !k.step() {
+			break
+		}
+	}
+	return k.failure
+}
+
+// advanceTo finalizes the clock at t (>= now) without executing events.
+// The coupling scheduler calls it when a run horizon is reached so that
+// Now() agrees across domains even if a domain had no events this window.
+func (k *Kernel) advanceTo(t Time) {
+	if t > k.now {
+		k.now = t
+	}
+}
+
 // PendingEvents returns the number of live events in the queue. Stopped
 // timers are removed eagerly, so this is simply the queue length — O(1),
 // where it used to scan the queue filtering dead entries.

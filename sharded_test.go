@@ -1,0 +1,205 @@
+package nectar
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nectar/internal/obs"
+	"nectar/internal/proto/wire"
+	"nectar/internal/rt/exec"
+	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
+)
+
+// shardedWorkloadResult is everything a run exports for byte-comparison:
+// the canonical trace, the canonical wire capture, and the merged metrics
+// snapshot JSON.
+type shardedWorkloadResult struct {
+	trace   string
+	capture string
+	metrics []byte
+}
+
+// runShardedWorkload drives a 4-node cluster — two cross-shard RMP flows
+// (0->1 and 2->3) under deterministic fault injection (drops + corruption
+// on every uplink, pattern varied by seed) — with a trace recorder and
+// wire capture per shard kernel, and returns the canonicalized output.
+// shards=1 runs the identical workload sequentially on one kernel.
+func runShardedWorkload(t *testing.T, shards int, seed uint64) shardedWorkloadResult {
+	t.Helper()
+	var cfg *Config
+	if shards > 1 {
+		cfg = &Config{Shards: shards}
+	}
+	cl := NewCluster(cfg)
+
+	const nNodes = 4
+	const perFlow = 24
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		nodes[i] = cl.AddNode()
+	}
+
+	// Per-kernel observability: one recorder + capture per shard.
+	kernels := cl.Kernels()
+	recs := make([]*obs.Recorder, len(kernels))
+	taps := make([]*obs.Capture, len(kernels))
+	for i, k := range kernels {
+		o := obs.Ensure(k)
+		recs[i] = &obs.Recorder{}
+		o.SetSink(recs[i])
+		taps[i] = &obs.Capture{}
+		o.SetCapture(taps[i])
+	}
+
+	// Deterministic stateless fault pattern per link: pure function of
+	// the packet ordinal and the seed, so it needs no shared state and
+	// is identical between sequential and sharded runs.
+	for _, n := range nodes {
+		n.CAB.OutLink().SetFaultFn(func(seq uint64) (drop, corrupt bool) {
+			return (seq+seed)%7 == 3, (seq+3*seed)%11 == 5
+		})
+	}
+
+	// Flows: 0 -> 1 and 2 -> 3. With round-robin shard assignment both
+	// flows cross the shard boundary in both directions (data and acks).
+	flows := [][2]int{{0, 1}, {2, 3}}
+	done := make([]bool, len(flows))
+	for fi, f := range flows {
+		fi, src, dst := fi, nodes[f[0]], nodes[f[1]]
+		sink := dst.Mailboxes.Create(fmt.Sprintf("flow%d.sink", fi))
+		sink.SetCapacity(1 << 20)
+		addr := wire.MailboxAddr{Node: dst.ID, Box: sink.ID()}
+		dst.CAB.Sched.Fork("drain", threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			for n := 0; n < perFlow; n++ {
+				m := sink.BeginGet(ctx)
+				sink.EndGet(ctx, m)
+			}
+			done[fi] = true
+		})
+		src.CAB.Sched.Fork("blast", threads.SystemPriority, func(th *threads.Thread) {
+			ctx := exec.OnCAB(th)
+			payload := make([]byte, 256)
+			for i := range payload {
+				payload[i] = byte(uint64(i) * (seed + uint64(fi) + 1))
+			}
+			for s := 0; s < perFlow; s++ {
+				payload[0] = byte(s)
+				if st := src.Transports.RMP.SendBlocking(ctx, addr, 0, payload); st != 1 {
+					panic(fmt.Sprintf("flow %d send %d failed: status %d", fi, s, st))
+				}
+			}
+		})
+	}
+
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() {
+		if err := cl.RunFor(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Now() > sim.Time(60*sim.Second) {
+			t.Fatalf("workload stalled (shards=%d seed=%d, done=%v)", shards, seed, done)
+		}
+	}
+
+	if shards > 1 {
+		if got := cl.Shards(); got != shards {
+			t.Fatalf("cluster has %d shards, want %d", got, shards)
+		}
+		if cl.Hubs[0].Forwarded() == 0 {
+			t.Fatal("no HUB forwards: flows did not cross the switch")
+		}
+	}
+
+	streams := make([][]obs.Event, len(recs))
+	for i, r := range recs {
+		streams[i] = r.Events
+	}
+	return shardedWorkloadResult{
+		trace:   obs.FormatEvents(obs.CanonicalTrace(streams...)),
+		capture: obs.CanonicalCapture(taps...).Text(),
+		metrics: cl.MetricsSnapshot().JSON(),
+	}
+}
+
+// TestShardedDeterminismUnderFaults is the tentpole's contract: a 4-node,
+// 2-shard cluster under fault injection (drops + corruption) produces
+// trace, capture, and metric output byte-identical to the sequential
+// single-kernel run, across 3 seeds. Run under -race this also verifies
+// the coupling's synchronization (shards execute on distinct goroutines).
+func TestShardedDeterminismUnderFaults(t *testing.T) {
+	for _, seed := range []uint64{1, 12345, 987654321} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			seq := runShardedWorkload(t, 1, seed)
+			shd := runShardedWorkload(t, 2, seed)
+			if seq.trace == "" || seq.capture == "" {
+				t.Fatal("sequential run produced no observability output")
+			}
+			if shd.trace != seq.trace {
+				t.Errorf("sharded trace differs from sequential; first divergence:\nseq: %s\nshd: %s",
+					firstDiffLine(seq.trace, shd.trace), firstDiffLine(shd.trace, seq.trace))
+			}
+			if shd.capture != seq.capture {
+				t.Errorf("sharded capture differs from sequential; first divergence:\nseq: %s\nshd: %s",
+					firstDiffLine(seq.capture, shd.capture), firstDiffLine(shd.capture, seq.capture))
+			}
+			if !bytes.Equal(shd.metrics, seq.metrics) {
+				t.Errorf("sharded metrics snapshot differs from sequential:\nseq: %s\nshd: %s",
+					firstDiffLine(string(seq.metrics), string(shd.metrics)),
+					firstDiffLine(string(shd.metrics), string(seq.metrics)))
+			}
+		})
+	}
+}
+
+// TestShardedRepeatable runs the sharded workload twice and requires
+// byte-identical output — parallel execution must not introduce run-to-run
+// nondeterminism.
+func TestShardedRepeatable(t *testing.T) {
+	r1 := runShardedWorkload(t, 2, 7)
+	r2 := runShardedWorkload(t, 2, 7)
+	if r1.trace != r2.trace {
+		t.Errorf("sharded traces differ between identical runs; first divergence:\nrun1: %s\nrun2: %s",
+			firstDiffLine(r1.trace, r2.trace), firstDiffLine(r2.trace, r1.trace))
+	}
+	if r1.capture != r2.capture {
+		t.Error("sharded captures differ between identical runs")
+	}
+	if !bytes.Equal(r1.metrics, r2.metrics) {
+		t.Error("sharded metric snapshots differ between identical runs")
+	}
+}
+
+// TestShardedFourWay shards the same 4-node workload one shard per node.
+func TestShardedFourWay(t *testing.T) {
+	seq := runShardedWorkload(t, 1, 42)
+	shd := runShardedWorkload(t, 4, 42)
+	if shd.trace != seq.trace {
+		t.Errorf("4-shard trace differs from sequential; first divergence:\nseq: %s\nshd: %s",
+			firstDiffLine(seq.trace, shd.trace), firstDiffLine(shd.trace, seq.trace))
+	}
+	if !bytes.Equal(shd.metrics, seq.metrics) {
+		t.Error("4-shard metrics snapshot differs from sequential")
+	}
+}
+
+// TestShardedCircuitRefused checks the guard: circuits have zero switch
+// delay (zero lookahead), so sharded HUBs refuse to open them.
+func TestShardedCircuitRefused(t *testing.T) {
+	cl := NewCluster(&Config{Shards: 2})
+	cl.AddNode()
+	cl.AddNode()
+	if err := cl.Hubs[0].OpenCircuit(0, 1); err == nil {
+		t.Fatal("OpenCircuit succeeded on a sharded HUB")
+	}
+}
