@@ -1,0 +1,24 @@
+// Command nectar-vet runs the repo's determinism and hot-path analyzers
+// (internal/analysis) over Go packages.
+//
+// Standalone:
+//
+//	nectar-vet ./...
+//
+// As a go vet tool (one unit per package, cached by the go command):
+//
+//	go build -o "$(go env GOPATH)/bin/nectar-vet" ./cmd/nectar-vet
+//	go vet -vettool="$(which nectar-vet)" ./...
+//
+// Exit status: 0 clean, 1 driver error, 2 diagnostics reported.
+package main
+
+import (
+	"os"
+
+	"nectar/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:]))
+}

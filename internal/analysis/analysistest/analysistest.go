@@ -1,0 +1,280 @@
+// Package analysistest runs an analyzer over packages rooted at a
+// testdata/src tree and checks its diagnostics against // want
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// Layout: testdata/src/<import/path>/*.go defines package <import/path>.
+// Imports between testdata packages resolve inside the tree first; any
+// other import (the standard library, real nectar/internal/... packages)
+// falls back to the module-aware source importer, so fixtures can
+// exercise analyzers against the real internal/obs and internal/sim
+// types.
+//
+// Expectations are comments anchored to the line the diagnostic lands
+// on:
+//
+//	time.Now() // want `wall-clock time\.Now`
+//
+// Each expectation is a Go string literal (quoted or backquoted) holding
+// a regexp; several literals on one line expect several diagnostics.
+// Because a //-comment swallows the rest of its line, fixtures that
+// expect a diagnostic *on a directive comment itself* put the
+// expectation in a block comment before it:
+//
+//	/* want `requires a reason` */ //nectar:allow-walltime
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nectar/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each package dir testdata/src/<path>, applies a to it, and
+// reports mismatches between diagnostics and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:  token.NewFileSet(),
+		root:  filepath.Join(testdata, "src"),
+		cache: make(map[string]*loaded),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgPaths {
+		runOne(t, ld, a, path)
+	}
+}
+
+func runOne(t *testing.T, ld *loader, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	lp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	for _, terr := range lp.typeErrors {
+		t.Errorf("%s: typecheck: %v", pkgPath, terr)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     lp.files,
+		PkgPath:   pkgPath,
+		Pkg:       lp.pkg,
+		TypesInfo: lp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %s: %v", pkgPath, a.Name, err)
+	}
+
+	expects := collectExpectations(t, ld.fset, lp.files)
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		key := lineKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, e := range expects[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	keys := make([]lineKey, 0, len(expects))
+	for k := range expects {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, e := range expects[k] {
+			if !e.matched {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, k.file, k.line, e.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantLiteral matches one Go string literal (interpreted or raw).
+var wantLiteral = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectExpectations scans every comment for the `want` marker.
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*expectation {
+	t.Helper()
+	out := make(map[lineKey][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if strings.HasPrefix(c.Text, "/*") {
+					text = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/"))
+				}
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{filepath.Base(pos.Filename), pos.Line}
+				lits := wantLiteral.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s: malformed want comment (no string literals): %s", pos, c.Text)
+				}
+				for _, lit := range lits {
+					var pat string
+					if lit[0] == '`' {
+						pat = lit[1 : len(lit)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out[key] = append(out[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- testdata package loading ---
+
+type loaded struct {
+	files      []*ast.File
+	pkg        *types.Package
+	info       *types.Info
+	typeErrors []error
+}
+
+type loader struct {
+	fset     *token.FileSet
+	root     string // testdata/src
+	cache    map[string]*loaded
+	fallback types.Importer
+}
+
+// load parses and type-checks testdata package path (dir root/<path>).
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.cache[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	lp := &loaded{
+		files: files,
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		},
+	}
+	conf := types.Config{
+		Importer: (*testdataImporter)(ld),
+		Error:    func(err error) { lp.typeErrors = append(lp.typeErrors, err) },
+	}
+	lp.pkg, _ = conf.Check(path, ld.fset, files, lp.info)
+	ld.cache[path] = lp
+	return lp, nil
+}
+
+// testdataImporter resolves imports inside testdata/src first, then
+// falls back to the module-aware source importer.
+type testdataImporter loader
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(ti)
+	if hasGoFiles(filepath.Join(ld.root, filepath.FromSlash(path))) {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if from, ok := ld.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, ld.root, 0)
+	}
+	return ld.fallback.Import(path)
+}
+
+// hasGoFiles reports whether dir exists and directly contains a .go
+// file. Intermediate fixture directories (e.g. testdata/src/nectar/
+// internal/sim holding only subpackages) must not shadow the real
+// module package of the same import path.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

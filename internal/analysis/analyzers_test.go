@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nectar/internal/analysis"
+	"nectar/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised against fixtures with at least one failing
+// (// want) and one passing case; the walltime fixtures also pin down
+// the //nectar: directive grammar (misspelled verb, missing reason,
+// directive on the wrong line).
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Walltime,
+		"nectar/internal/sim/wtpos", // positives + directive edge cases
+		"other/clock",               // non-deterministic package: silent
+	)
+}
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Seededrand,
+		"nectar/internal/proto/srpos", // positives + injected-Rand negatives
+		"other/rnd",                   // non-deterministic package: silent
+	)
+}
+
+func TestRawgo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Rawgo,
+		// One package holding an approved file (pdes.go — silent), an
+		// unapproved file (diagnosed), and a test file (exempt).
+		"rawgotest/internal/sim",
+	)
+}
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Detrange,
+		"detrangetest",
+	)
+}
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Hotpath,
+		"hotpathtest",
+	)
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //nectar: directive namespace.
+//
+//	//nectar:allow-walltime <reason>   — suppress walltime findings on the
+//	                                     directive's own line and the next
+//	                                     line, or (as a function's doc
+//	                                     comment) in the whole function.
+//	//nectar:hotpath                   — mark a function as an allocation-
+//	                                     free fast path; the hotpath
+//	                                     analyzer then audits its body.
+//
+// Directive hygiene is checked mechanically: an unknown verb (usually a
+// typo — "allow-waltime") or an allow-walltime without a justification is
+// itself a diagnostic, so a misspelled escape hatch can never silently
+// disable a check.
+
+const (
+	dirPrefix        = "//nectar:"
+	DirAllowWalltime = "allow-walltime"
+	DirHotpath       = "hotpath"
+)
+
+// directive is one parsed //nectar: comment.
+type directive struct {
+	verb string
+	arg  string // rest of the comment (the allow-walltime reason)
+	pos  token.Pos
+	line int
+}
+
+// parseDirective parses a single comment, returning ok=false when it is
+// not a //nectar: comment at all.
+func parseDirective(fset *token.FileSet, c *ast.Comment) (directive, bool) {
+	if !strings.HasPrefix(c.Text, dirPrefix) {
+		return directive{}, false
+	}
+	rest := c.Text[len(dirPrefix):]
+	verb, arg, _ := strings.Cut(rest, " ")
+	return directive{
+		verb: verb,
+		arg:  strings.TrimSpace(arg),
+		pos:  c.Pos(),
+		line: fset.Position(c.Pos()).Line,
+	}, true
+}
+
+// fileDirectives returns every //nectar: directive in f, in source order.
+func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(fset, c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectiveHygiene reports malformed //nectar: directives in f. It
+// is invoked by exactly one analyzer (walltime, which owns the directive
+// namespace) so each malformed directive is reported once per package.
+func checkDirectiveHygiene(pass *Pass, f *ast.File) {
+	for _, d := range fileDirectives(pass.Fset, f) {
+		switch d.verb {
+		case DirAllowWalltime:
+			if d.arg == "" {
+				pass.Reportf(d.pos, "//nectar:allow-walltime requires a reason (e.g. //nectar:allow-walltime measures sweep wall clock)")
+			}
+		case DirHotpath:
+			// Placement is validated by the hotpath analyzer.
+		default:
+			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s and %s",
+				dirPrefix+d.verb, DirAllowWalltime, DirHotpath)
+		}
+	}
+}
+
+// suppressor answers "is this position excused from a given directive?".
+// A well-formed directive covers its own source line and the next line
+// (so it can trail the offending expression or sit just above it); a
+// directive in a function declaration's doc comment covers the entire
+// function. A directive anywhere else — two lines up, inside an unrelated
+// block — covers nothing, which the testdata pins down.
+type suppressor struct {
+	lines     map[int]bool          // line numbers covered
+	funcSpans []span                // body ranges of annotated functions
+}
+
+type span struct{ from, to token.Pos }
+
+// newSuppressor builds the suppression index for verb in file f.
+func newSuppressor(pass *Pass, f *ast.File, verb string) *suppressor {
+	s := &suppressor{lines: make(map[int]bool)}
+	doc := make(map[*ast.CommentGroup]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			return true
+		}
+		for _, c := range fd.Doc.List {
+			if d, ok := parseDirective(pass.Fset, c); ok && d.verb == verb && d.arg != "" {
+				doc[fd.Doc] = true
+				s.funcSpans = append(s.funcSpans, span{fd.Pos(), fd.End()})
+			}
+		}
+		return true
+	})
+	for _, cg := range f.Comments {
+		if doc[cg] {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, ok := parseDirective(pass.Fset, c); ok && d.verb == verb && d.arg != "" {
+				s.lines[d.line] = true
+				s.lines[d.line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether pos is covered by the suppressor.
+func (s *suppressor) allows(pass *Pass, pos token.Pos) bool {
+	if s.lines[pass.Fset.Position(pos).Line] {
+		return true
+	}
+	for _, sp := range s.funcSpans {
+		if sp.from <= pos && pos < sp.to {
+			return true
+		}
+	}
+	return false
+}

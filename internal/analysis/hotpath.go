@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath audits functions annotated //nectar:hotpath for obvious
+// allocation sources. The annotation marks the per-event fast paths that
+// the AllocsPerRun guards hold at zero (the sim event queue, mailbox
+// put/get, checksum, and the fiber/cab pool paths); the analyzer makes
+// the same contract visible at the line that would break it, instead of
+// in a benchmark failure three layers away.
+//
+// Reported allocation sources:
+//
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf/Fprintf/Appendf and Markf-style
+//     calls: the variadic ...any slice and its boxed elements allocate
+//     even when the result is discarded. (Calls inside a panic(...)
+//     argument are exempt — invariant-violation paths are dead in steady
+//     state.)
+//   - append to a local slice declared without capacity: `var s []T` /
+//     `s := []T{}` / `s := make([]T, n)` grow from nil every call.
+//     Appends to struct fields or parameters are amortized by the
+//     caller's steady state (pool-backed or retained capacity) and are
+//     not flagged.
+//   - value-to-interface conversion in call arguments or assignments:
+//     boxing a concrete value into an interface escapes it.
+//   - capturing closures: a func literal referencing variables from the
+//     enclosing function allocates the closure (and often the captures).
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "for functions annotated //nectar:hotpath, report obvious allocation sources: fmt.Sprintf/Markf-style " +
+		"calls, append to a local slice declared without capacity, value-to-interface conversions, and capturing " +
+		"closures. Also validates that //nectar:hotpath annotates a function declaration.",
+	Run: runHotpath,
+}
+
+// hotpathFmt lists the fmt formatters whose variadic ...any always
+// allocates; Markf-style methods (any method named Markf/Tracef/Logf)
+// are matched by name.
+var hotpathFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Fprintf": true, "Appendf": true,
+}
+
+var hotpathFmtMethods = map[string]bool{
+	"Markf": true, "Tracef": true, "Logf": true,
+}
+
+func runHotpath(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Collect the doc groups of annotated functions so misplaced
+		// directives (not on a func decl) can be reported.
+		annotated := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirHotpath {
+						annotated[fd.Doc] = fd
+					}
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			if _, ok := annotated[cg]; ok {
+				continue
+			}
+			for _, c := range cg.List {
+				if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirHotpath {
+					pass.Reportf(d.pos, "//nectar:hotpath must be part of a function declaration's doc comment")
+				}
+			}
+		}
+		for _, fd := range annotated {
+			if fd.Body != nil {
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	presized := presizedLocals(pass, fd)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(pass, n) {
+				// Invariant-violation path: arguments (typically a
+				// Sprintf) only evaluate when the simulation is already
+				// dead. Skip the whole subtree.
+				return false
+			}
+			checkHotCall(pass, fd, n, presized)
+		case *ast.AssignStmt:
+			checkHotAssign(pass, fd, n)
+		case *ast.FuncLit:
+			checkCapture(pass, fd, n)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkHotCall reports formatter calls, unsized appends, and interface-
+// boxing arguments.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, presized map[types.Object]bool) {
+	info := pass.TypesInfo
+	// Formatter calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgNameOf(info, sel.X) == "fmt" && hotpathFmt[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "hotpath %s: fmt.%s allocates its variadic args; precompute the string",
+				fd.Name.Name, sel.Sel.Name)
+			return
+		}
+		if _, name := recvPkgPath(info, sel); hotpathFmtMethods[name] {
+			pass.Reportf(call.Pos(), "hotpath %s: %s builds its variadic args even when tracing is off; "+
+				"precompute the mark name and call the non-formatting variant", fd.Name.Name, name)
+			return
+		}
+	}
+	// append to an unsized local.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if info.Types[call.Fun].IsBuiltin() {
+			if base, ok := call.Args[0].(*ast.Ident); ok {
+				if obj := info.ObjectOf(base); obj != nil {
+					if grown, ok := presized[obj]; ok && !grown {
+						pass.Reportf(call.Pos(), "hotpath %s: append grows local %q declared without capacity; "+
+							"pre-size it (make with cap, or reuse pooled storage via x[:0])",
+							fd.Name.Name, base.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+	// Interface-boxing arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || types.IsInterface(at.Type.Underlying()) || at.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hotpath %s: argument converts %s to %s (allocates); keep hot-path signatures concrete",
+			fd.Name.Name, at.Type, pt)
+	}
+}
+
+// checkHotAssign reports assignments that box a concrete value into an
+// interface-typed variable or field.
+func checkHotAssign(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var lt types.Type
+		if as.Tok == token.DEFINE {
+			continue // inferred type: no conversion
+		}
+		if tv, ok := info.Types[lhs]; ok {
+			lt = tv.Type
+		}
+		if lt == nil || !types.IsInterface(lt.Underlying()) {
+			continue
+		}
+		rt := info.Types[as.Rhs[i]]
+		if rt.Type == nil || types.IsInterface(rt.Type.Underlying()) || rt.IsNil() {
+			continue
+		}
+		pass.Reportf(as.Rhs[i].Pos(), "hotpath %s: assignment converts %s to %s (allocates)",
+			fd.Name.Name, rt.Type, lt)
+	}
+}
+
+// checkCapture reports func literals that capture variables from the
+// enclosing function.
+func checkCapture(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal itself.
+		if v.Pos() < fd.Pos() || v.Pos() >= fd.End() {
+			return true // package-level or foreign
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own params/locals
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(), "hotpath %s: closure captures %q (a capturing closure allocates); "+
+			"hoist the closure or pass state explicitly", fd.Name.Name, v.Name())
+		return true
+	})
+}
+
+// presizedLocals classifies the function's local slice variables: the
+// map holds every local slice referenced by an append; the value records
+// whether its declaration provides steady-state capacity (make with an
+// explicit cap, a reslice of existing storage, a call result such as a
+// pool Get, or a parameter). Fields and package-level slices are not in
+// the map (their capacity is amortized across calls).
+func presizedLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	info := pass.TypesInfo
+	out := make(map[types.Object]bool)
+	// Parameters and results are the caller's storage.
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			for _, name := range fld.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			for _, name := range fld.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			// var s []T — no capacity.
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						obj := info.ObjectOf(name)
+						if obj == nil || !isSliceObj(obj) {
+							continue
+						}
+						if i < len(vs.Values) {
+							out[obj] = exprProvidesCapacity(info, vs.Values[i])
+						} else {
+							out[obj] = false
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSliceObj(obj) {
+					continue
+				}
+				out[obj] = exprProvidesCapacity(info, n.Rhs[i])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSliceObj(obj types.Object) bool {
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+// exprProvidesCapacity reports whether initializing a slice from e gives
+// it storage that append can reuse in steady state.
+func exprProvidesCapacity(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && info.Types[e.Fun].IsBuiltin() {
+			return len(e.Args) >= 3 // make([]T, n, cap)
+		}
+		return true // pool Get or other call: caller-managed storage
+	case *ast.SliceExpr:
+		return true // s[:0]-style reuse of existing storage
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true // aliases existing storage
+	case *ast.CompositeLit:
+		return false // []T{...} allocates fresh every call
+	}
+	return false
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && pass.TypesInfo.Types[call.Fun].IsBuiltin()
+}
+
+// callSignature returns the signature of the called function, nil for
+// builtins and type conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the declared type of argument i of sig, expanding
+// the variadic tail ([]any -> any per argument). It returns nil for the
+// f(slice...) spread form, which performs no per-element conversion.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if call.Ellipsis.IsValid() {
+			return nil
+		}
+		last := params.At(n - 1).Type()
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package loading for the standalone driver and the repo-wide regression
+// test. The driver deliberately depends only on the standard library:
+// package metadata comes from `go list -json`, syntax from go/parser,
+// and types from go/types with the "source" importer (which is
+// module-aware and type-checks dependencies — including the standard
+// library — from source, caching per importer instance).
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors holds type-checker soft failures; analyzers still run
+	// (their type lookups degrade gracefully), but drivers surface them.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list -json patterns...` in dir and decodes the stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// newTypesInfo allocates the types.Info maps the analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// typecheckFiles parses and type-checks one package's files with imp
+// resolving imports. Soft type errors are collected, not fatal.
+func typecheckFiles(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: pkgPath, Fset: fset, Files: files, TypesInfo: newTypesInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(canonicalPkgPath(pkgPath), fset, files, pkg.TypesInfo)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// LoadPackages loads the packages matching patterns (relative to dir)
+// with full syntax and types. Test files and test-only packages are
+// excluded — the determinism analyzers exempt them by design, and the
+// non-test compilation covers every file the contract applies to.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		filenames := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			filenames[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := typecheckFiles(fset, lp.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the diagnostics
+// in (analyzer, position) order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			PkgPath:   pkg.PkgPath,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Pos < diags[j].Pos
+	})
+	return diags, nil
+}
+
+// FormatDiagnostic renders d as file:line:col: analyzer: message.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

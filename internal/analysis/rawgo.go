@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// rawgoApproved lists the only non-test files allowed to contain go
+// statements. The conservative safe-window scheduler's determinism proof
+// rests on exactly one goroutine executing simulation state per kernel;
+// every goroutine in the tree must therefore be one of the audited
+// handoff structures:
+//
+//   - internal/sim/pdes.go      — the PDES domain workers, synchronized
+//     by the winSeq/doneSeq window barrier.
+//   - internal/sim/proc.go      — the kernel's Proc coroutines, run one
+//     at a time via the resume/handoff channel pair (SimPy-style).
+//   - internal/bench/parallel.go — the sweep worker pool; each job owns
+//     a private kernel, results assemble in job-index order.
+//
+// A goroutine anywhere else has no barrier to synchronize with and would
+// race simulation state or reorder observable output, so there is no
+// escape directive: new concurrency surfaces must be added here, in
+// review, with their synchronization story.
+var rawgoApproved = []string{
+	"internal/sim/pdes.go",
+	"internal/sim/proc.go",
+	"internal/bench/parallel.go",
+}
+
+// Rawgo flags go statements outside the approved concurrency surfaces.
+var Rawgo = &Analyzer{
+	Name: "rawgo",
+	Doc: "flag go statements outside the approved concurrency surfaces (internal/sim/pdes.go, internal/sim/proc.go, " +
+		"internal/bench/parallel.go) and test files; stray goroutines break the conservative scheduler's determinism proof.",
+	Run: runRawgo,
+}
+
+func rawgoFileApproved(filename string) bool {
+	f := filepath.ToSlash(filename)
+	for _, a := range rawgoApproved {
+		if f == a || strings.HasSuffix(f, "/"+a) {
+			return true
+		}
+	}
+	return false
+}
+
+func runRawgo(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if rawgoFileApproved(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"go statement outside the approved concurrency surfaces (%s): "+
+						"stray goroutines break the conservative safe-window scheduler's determinism proof",
+					strings.Join(rawgoApproved, ", "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

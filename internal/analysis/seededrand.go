@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// seededrandAllowed lists the math/rand package-level names that do not
+// touch the package's global generator: the constructors and types used
+// to build an injected, seeded source. Everything else (Intn, Float64,
+// Perm, Shuffle, Seed, Read, ...) draws from — or mutates — process-wide
+// state whose sequence depends on what every other caller in the binary
+// has consumed, so two runs of the same Config would diverge.
+var seededrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true, // math/rand/v2
+	"NewChaCha8": true,
+	"Rand":      true,
+	"Source":    true,
+	"Zipf":      true,
+	"PCG":       true,
+	"ChaCha8":   true,
+}
+
+// Seededrand forbids the global math/rand generator in deterministic
+// packages; randomness (fault-injection drops, jitter) must flow from a
+// *rand.Rand seeded out of the experiment Config.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions (rand.Intn, rand.Float64, rand.Seed, ...) in deterministic packages; " +
+		"inject a seeded *rand.Rand (rand.New(rand.NewSource(seed))) whose seed flows from Config instead.",
+	Run: runSeededrand,
+}
+
+func runSeededrand(pass *Pass) (any, error) {
+	if !IsDeterministicPkg(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(pass.TypesInfo, sel.X) {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if seededrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global math/rand state (rand.%s) in deterministic package %s: "+
+					"inject a seeded *rand.Rand whose seed flows from Config",
+				sel.Sel.Name, canonicalPkgPath(pass.PkgPath))
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,19 @@
+// Directive-hygiene edge cases: a typoed verb or a missing reason is
+// itself a diagnostic, so a broken escape hatch can never silently
+// disable the check.
+package wtpos
+
+import "time"
+
+/* want `requires a reason` */ //nectar:allow-walltime
+
+/* want `unknown directive "//nectar:allow-waltime"` */ //nectar:allow-waltime measures stuff
+
+/* want `unknown directive "//nectar:"` */ //nectar: allow-walltime leading space breaks the verb
+
+// missingReason demonstrates that a reason-less directive also fails to
+// suppress: the finding on the next line is still reported.
+func missingReason() {
+	/* want `requires a reason` */ //nectar:allow-walltime
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+}

@@ -1,0 +1,12 @@
+// Package clock is outside the deterministic import-path set: wall
+// clock and directives are nobody's business here, so walltime must stay
+// silent (CLIs under cmd/ measure wall clock on purpose).
+package clock
+
+import "time"
+
+func Elapsed(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}

@@ -1,0 +1,7 @@
+// Package rnd is outside the deterministic import-path set; global
+// math/rand is allowed here.
+package rnd
+
+import "math/rand"
+
+func Jitter() float64 { return rand.Float64() }

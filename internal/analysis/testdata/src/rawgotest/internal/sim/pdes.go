@@ -1,0 +1,15 @@
+// Package sim mimics the layout of the real nectar/internal/sim so the
+// rawgo approved-file suffix match can be exercised: this file is named
+// pdes.go under internal/sim/, so its go statements are allowed.
+package sim
+
+func workers(n int, job func(int)) chan struct{} {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) { // approved surface: internal/sim/pdes.go
+			job(i)
+			done <- struct{}{}
+		}(i)
+	}
+	return done
+}

@@ -1,0 +1,11 @@
+package sim
+
+func fire(fn func()) {
+	go fn() // want `go statement outside the approved concurrency surfaces`
+}
+
+func fireAll(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want `go statement outside the approved concurrency surfaces`
+	}
+}

@@ -1,0 +1,8 @@
+package sim
+
+// Test files are exempt: tests spawn goroutines under the race detector
+// on purpose (e.g. the concurrent-kernel determinism tests).
+
+func backgroundInTest(fn func()) {
+	go fn()
+}

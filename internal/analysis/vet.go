@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Driver entry points for cmd/nectar-vet. Two modes:
+//
+//   - Standalone: `nectar-vet ./...` loads the named packages itself
+//     (LoadPackages) and reports findings. This is the mode CI and the
+//     repo-wide regression test use.
+//   - Vet tool: `go vet -vettool=$(which nectar-vet) ./...`. The go
+//     command drives the tool with the unitchecker protocol: a -V=full
+//     probe for the build cache key, a -flags probe for supported
+//     flags, then one invocation per package with a JSON *.cfg file
+//     describing the unit. We type-check each unit with the module-aware
+//     "source" importer rather than the supplied export data, which
+//     keeps the driver standard-library-only.
+
+// vetConfig mirrors the fields of the go command's vet configuration
+// file that this driver consumes (the full schema matches
+// x/tools/go/analysis/unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the nectar-vet entry point. It returns the process exit code:
+// 0 clean, 1 driver error, 2 diagnostics reported.
+func Main(args []string) int {
+	// Protocol probes from the go command.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			// The go command parses "<name> version <detail>" to key the
+			// build cache.
+			fmt.Printf("nectar-vet version %s-nectar1\n", runtime.Version())
+			return 0
+		}
+		if a == "-flags" || a == "--flags" {
+			// We expose no analyzer flags; report an empty flag set.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0])
+	}
+	return standalone(args)
+}
+
+// standalone loads patterns (default ./...) and reports all findings.
+func standalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	pkgs, err := LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "nectar-vet: typecheck %s: %v\n", pkg.PkgPath, te)
+			exit = 1
+		}
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, FormatDiagnostic(pkg.Fset, d))
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// vetUnit analyzes one package unit described by a go vet config file.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nectar-vet: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even though these
+	// analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("nectar-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	filenames := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		filenames = append(filenames, f)
+	}
+	fset := token.NewFileSet()
+	imp := &mappedImporter{
+		m:    cfg.ImportMap,
+		dir:  cfg.Dir,
+		next: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := typecheckFiles(fset, cfg.ImportPath, filenames, imp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	diags, err := RunAnalyzers(pkg, All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, FormatDiagnostic(fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// mappedImporter applies the vet config's ImportMap (import path as
+// written -> canonical path) before delegating to the source importer.
+type mappedImporter struct {
+	m    map[string]string
+	dir  string
+	next types.Importer
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	if from, ok := mi.next.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, mi.dir, 0)
+	}
+	return mi.next.Import(path)
+}

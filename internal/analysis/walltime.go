@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// walltimeForbidden lists the package-level time functions that read or
+// wait on the machine's clock. Deterministic packages run on sim virtual
+// time exclusively: a single time.Now in a protocol layer makes two runs
+// of the same seed diverge, which breaks the byte-identical guarantee
+// behind Figures 6–8 and the sharded-vs-sequential comparison.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// Walltime forbids wall-clock time in deterministic packages.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time (time.Now/Sleep/After/Since/NewTimer/Tick/...) in deterministic packages; " +
+		"simulation logic must use sim virtual time. Measurement code escapes with //nectar:allow-walltime <reason>. " +
+		"Also validates //nectar: directive hygiene (unknown verbs, missing reasons).",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *Pass) (any, error) {
+	det := IsDeterministicPkg(pass.PkgPath)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Directive hygiene is validated everywhere, including
+		// non-deterministic packages: a typoed directive is a latent bug
+		// wherever it sits.
+		checkDirectiveHygiene(pass, f)
+		if !det {
+			continue
+		}
+		sup := newSuppressor(pass, f, DirAllowWalltime)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(pass.TypesInfo, sel.X) != "time" || !walltimeForbidden[sel.Sel.Name] {
+				return true
+			}
+			if sup.allows(pass, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s in deterministic package %s: simulation logic must use sim virtual time "+
+					"(annotate measurement code with //nectar:allow-walltime <reason>)",
+				sel.Sel.Name, canonicalPkgPath(pass.PkgPath))
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -78,6 +78,8 @@ func toQueueBench(r testing.BenchmarkResult, eventsPerOp float64) QueueBench {
 }
 
 // KernelPerf benchmarks both event-queue implementations in-process.
+//
+//nectar:allow-walltime in-process testing.Benchmark harness measures real ns/event
 func KernelPerf() *KernelPerfReport {
 	fn := func() {}
 
@@ -165,6 +167,8 @@ func KernelPerf() *KernelPerfReport {
 // Fig7WallClock runs the Figure 7 sweep sequentially and then with the
 // given worker count, verifying that both render to identical tables and
 // reporting the wall-clock speedup. sizes nil = Sizes1990.
+//
+//nectar:allow-walltime compares sequential vs parallel sweep wall clock for SweepReport
 func Fig7WallClock(cost *model.CostModel, sizes []int, workers int) (*SweepReport, error) {
 	if sizes == nil {
 		sizes = Sizes1990

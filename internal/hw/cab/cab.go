@@ -37,6 +37,8 @@ type RxDesc struct {
 // the datalink layer calls it on pre-DMA drop paths, and StartRxDMA calls
 // it after the payload has been copied out. It must be called at most once
 // per descriptor.
+//
+//nectar:hotpath
 func (d *RxDesc) Release() {
 	if d.pkt != nil {
 		d.pkt.Release()
@@ -309,7 +311,10 @@ func (c *CAB) StartRxDMA(d *RxDesc, dst []byte, done func(ok bool)) {
 	})
 }
 
-// getDesc returns a receive descriptor from the CAB's free list.
+// getDesc returns a receive descriptor from the CAB's free list. The
+// allocation on the miss path fills the pool; steady state reuses.
+//
+//nectar:hotpath
 func (c *CAB) getDesc() *RxDesc {
 	if d, ok := c.descFree.Get(); ok {
 		return d

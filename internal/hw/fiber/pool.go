@@ -31,7 +31,10 @@ type Pool struct {
 
 // GetFrame returns a frame buffer of length n, reusing pooled storage when
 // its capacity suffices. Contents are undefined; callers overwrite every
-// byte (header, payload, CRC trailer).
+// byte (header, payload, CRC trailer). The make on the miss path is the
+// pool filling itself: in steady state the hit path is allocation-free.
+//
+//nectar:hotpath
 func (p *Pool) GetFrame(n int) []byte {
 	if p != nil {
 		if f, ok := p.frames.Peek(); ok && cap(f) >= n {
@@ -47,6 +50,8 @@ func (p *Pool) GetFrame(n int) []byte {
 }
 
 // GetPacket returns a Packet owned by this pool; Release returns it.
+//
+//nectar:hotpath
 func (p *Pool) GetPacket() *Packet {
 	if p != nil {
 		if pkt, ok := p.packets.Get(); ok {
@@ -61,6 +66,8 @@ func (p *Pool) GetPacket() *Packet {
 // Release returns pkt and its frame to the pool. It must be called exactly
 // once, only when no reference to pkt or pkt.Frame survives. Safe to call
 // on packets built without a pool (no-op beyond clearing).
+//
+//nectar:hotpath
 func (pkt *Packet) Release() {
 	p := pkt.pool
 	if p == nil {

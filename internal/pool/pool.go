@@ -18,11 +18,17 @@ type FreeList[T any] struct {
 	items []T
 }
 
-// Put pushes v onto the list.
+// Put pushes v onto the list. The append is to a struct field, so its
+// growth is amortized across the pool's lifetime (the backing array is
+// reused once warmed up).
+//
+//nectar:hotpath
 func (f *FreeList[T]) Put(v T) { f.items = append(f.items, v) }
 
 // Get pops the most recently Put value. The vacated slot is zeroed so
 // the list does not keep the value reachable. ok is false when empty.
+//
+//nectar:hotpath
 func (f *FreeList[T]) Get() (v T, ok bool) {
 	n := len(f.items)
 	if n == 0 {
@@ -38,6 +44,8 @@ func (f *FreeList[T]) Get() (v T, ok bool) {
 // Peek returns the value Get would pop without popping it. Callers use
 // it to test suitability (e.g. a buffer's capacity) before committing
 // to the pop.
+//
+//nectar:hotpath
 func (f *FreeList[T]) Peek() (v T, ok bool) {
 	n := len(f.items)
 	if n == 0 {

@@ -17,6 +17,8 @@ import (
 
 // Checksum computes the Internet ones'-complement checksum over data,
 // per RFC 1071. A trailing odd byte is padded with zero.
+//
+//nectar:hotpath
 func Checksum(data []byte) uint16 {
 	return FinishChecksum(SumWords(0, data))
 }
@@ -42,6 +44,8 @@ func Checksum(data []byte) uint16 {
 // cost: per-byte checksumming is what separates the TCP and RMP curves
 // of Figures 7 and 8 (§6.2), so the simulator's own copy of it should
 // not be the slow part of the wall clock.
+//
+//nectar:hotpath
 func SumWords(sum uint32, data []byte) uint32 {
 	acc := uint64(sum)
 	var carry uint64
@@ -98,6 +102,8 @@ func sumWordsRef(sum uint32, data []byte) uint32 {
 
 // FinishChecksum folds the carries of a partial sum and returns the
 // ones'-complement result.
+//
+//nectar:hotpath
 func FinishChecksum(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
@@ -107,12 +113,16 @@ func FinishChecksum(sum uint32) uint16 {
 
 // VerifyChecksum reports whether data (which includes its checksum field)
 // sums to the all-ones pattern, i.e. the checksum is valid.
+//
+//nectar:hotpath
 func VerifyChecksum(data []byte) bool {
 	return FinishChecksum(SumWords(0, data)) == 0
 }
 
 // PseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header:
 // source address, destination address, zero+protocol, and length.
+//
+//nectar:hotpath
 func PseudoHeaderSum(src, dst uint32, proto uint8, length int) uint32 {
 	var b [12]byte
 	binary.BigEndian.PutUint32(b[0:], src)

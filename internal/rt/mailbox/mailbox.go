@@ -180,6 +180,8 @@ func (m *Msg) Len() int { return m.n }
 // TrimPrefix removes n bytes from the front of the message in place
 // (paper §3.3: "removing a prefix or suffix of the message without doing
 // any copying").
+//
+//nectar:hotpath
 func (m *Msg) TrimPrefix(ctx exec.Context, n int) {
 	if n < 0 || n > m.n {
 		panic(fmt.Sprintf("mailbox: TrimPrefix(%d) of %d-byte message", n, m.n))
@@ -191,6 +193,8 @@ func (m *Msg) TrimPrefix(ctx exec.Context, n int) {
 }
 
 // TrimSuffix removes n bytes from the end of the message in place.
+//
+//nectar:hotpath
 func (m *Msg) TrimSuffix(ctx exec.Context, n int) {
 	if n < 0 || n > m.n {
 		panic(fmt.Sprintf("mailbox: TrimSuffix(%d) of %d-byte message", n, m.n))
@@ -312,13 +316,19 @@ func (mb *Mailbox) BeginPut(ctx exec.Context, n int) *Msg {
 
 // BeginPutNB is the non-blocking Begin_Put used by interrupt handlers
 // (paper §3.3). It returns nil when no space or no buffer is available.
+//
+//nectar:hotpath
 func (mb *Mailbox) BeginPutNB(ctx exec.Context, n int) *Msg {
 	ctx.Compute(mb.rt.cost.MailboxBeginPut)
 	ctx.Words(3)
 	return mb.tryReserve(ctx, n)
 }
 
-// tryReserve allocates the buffer if the budget allows.
+// tryReserve allocates the buffer if the budget allows. The &Msg on the
+// large-message path mirrors a real CAB heap allocation; the small-message
+// path reuses the mailbox's cached buffer.
+//
+//nectar:hotpath
 func (mb *Mailbox) tryReserve(ctx exec.Context, n int) *Msg {
 	if mb.queued+mb.reserved+n > mb.capacity {
 		return nil
@@ -417,12 +427,18 @@ func (mb *Mailbox) BeginGetPoll(ctx exec.Context) *Msg {
 
 // BeginGetNB removes and returns the next message, or nil if the mailbox
 // is empty. Safe from interrupt handlers.
+//
+//nectar:hotpath
 func (mb *Mailbox) BeginGetNB(ctx exec.Context) *Msg {
 	ctx.Compute(mb.rt.cost.MailboxBeginGet)
 	ctx.Words(2)
 	return mb.pop()
 }
 
+// pop dequeues the head message and records queue-wait and trace
+// observability. The queue reslice does not allocate.
+//
+//nectar:hotpath
 func (mb *Mailbox) pop() *Msg {
 	if len(mb.queue) == 0 {
 		return nil

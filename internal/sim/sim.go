@@ -118,6 +118,8 @@ type Timer struct {
 // Stop cancels the timer, eagerly removing its event from the queue. It
 // reports whether the callback was still pending (false if it already fired
 // or was already stopped).
+//
+//nectar:hotpath
 func (t Timer) Stop() bool {
 	k := t.k
 	if k == nil {
@@ -214,6 +216,8 @@ func NewKernel() *Kernel {
 func (k *Kernel) Now() Time { return k.now }
 
 // schedule inserts an event at time at (>= now) and returns its slot.
+//
+//nectar:hotpath
 func (k *Kernel) schedule(at Time, fn func()) int32 {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, k.now))
@@ -236,6 +240,8 @@ func (k *Kernel) schedule(at Time, fn func()) int32 {
 }
 
 // freeSlot recycles an arena slot, invalidating outstanding Timer handles.
+//
+//nectar:hotpath
 func (k *Kernel) freeSlot(slot int32) {
 	e := &k.arena[slot]
 	e.fn = nil
@@ -246,6 +252,8 @@ func (k *Kernel) freeSlot(slot int32) {
 
 // At schedules fn to run at absolute virtual time at. fn runs in kernel
 // context and must not block.
+//
+//nectar:hotpath
 func (k *Kernel) At(at Time, fn func()) Timer {
 	slot := k.schedule(at, fn)
 	return Timer{k: k, slot: slot, gen: k.arena[slot].gen}
@@ -253,6 +261,8 @@ func (k *Kernel) At(at Time, fn func()) Timer {
 
 // After schedules fn to run d from now. fn runs in kernel context and must
 // not block.
+//
+//nectar:hotpath
 func (k *Kernel) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -269,11 +279,13 @@ func (k *Kernel) Fatalf(format string, args ...any) {
 
 // --- inlined 4-ary min-heap ---
 
+//nectar:hotpath
 func (k *Kernel) heapPush(e heapEntry) {
 	k.heap = append(k.heap, e)
 	k.siftUp(len(k.heap) - 1)
 }
 
+//nectar:hotpath
 func (k *Kernel) siftUp(i int) {
 	h := k.heap
 	e := h[i]
@@ -290,6 +302,7 @@ func (k *Kernel) siftUp(i int) {
 	k.arena[e.slot].heapIdx = int32(i)
 }
 
+//nectar:hotpath
 func (k *Kernel) siftDown(i int) {
 	h := k.heap
 	n := len(h)
@@ -321,6 +334,8 @@ func (k *Kernel) siftDown(i int) {
 }
 
 // heapRemove deletes the entry at heap index i, restoring heap order.
+//
+//nectar:hotpath
 func (k *Kernel) heapRemove(i int) {
 	h := k.heap
 	n := len(h) - 1
@@ -335,6 +350,8 @@ func (k *Kernel) heapRemove(i int) {
 }
 
 // step pops and executes one event. Returns false when the queue is empty.
+//
+//nectar:hotpath
 func (k *Kernel) step() bool {
 	if len(k.heap) == 0 {
 		return false
