@@ -8,7 +8,7 @@
 // go statement silently breaks reproducibility of Figures 6–8. These
 // analyzers turn the conventions into checked rules.
 //
-// The five analyzers are:
+// The eight analyzers are:
 //
 //	walltime   — no wall-clock time (time.Now/Sleep/...) in deterministic
 //	             packages; //nectar:allow-walltime <reason> escapes
@@ -23,6 +23,19 @@
 //	hotpath    — functions annotated //nectar:hotpath must avoid obvious
 //	             allocation sources (Sprintf/Markf, unsized append,
 //	             value-to-interface conversion, capturing closures).
+//	hotprop    — interprocedural extension of hotpath: every function
+//	             reachable from a //nectar:hotpath root through the call
+//	             graph (callgraph.go) must satisfy the same rules or
+//	             carry //nectar:hotpath-exempt <reason>; diagnostics
+//	             print the offending call chain.
+//	shardsafe  — static race detector for the PDES coupling model:
+//	             state annotated //nectar:shard-owned may only be reached
+//	             through a receiver/parameter ownership chain; audited
+//	             cross-domain surfaces carry //nectar:shard-boundary.
+//	unitsafe   — virtual-time unit hygiene in deterministic packages: no
+//	             time.Duration<->sim unit conversions, no raw numeric
+//	             literals where sim.Duration/sim.Time is expected, and no
+//	             unit-dropping numeric casts outside package sim.
 //
 // The types below mirror the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) so the analyzers read idiomatically and
@@ -64,6 +77,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Program supplies whole-program context (call graph, cross-package
+	// facts) to the interprocedural analyzers. It is nil under drivers
+	// that only see one package at a time (go vet units, analysistest);
+	// those analyzers then degrade to a single-package view built from
+	// this pass.
+	Program *Program
 }
 
 // Diagnostic is one finding at a source position.
@@ -71,6 +90,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled by the driver
+	// Chain is the offending call chain for interprocedural findings
+	// (hotprop), from the annotated root to the function containing Pos.
+	// Empty for intraprocedural findings.
+	Chain []string
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -156,7 +179,10 @@ func recvPkgPath(info *types.Info, sel *ast.SelectorExpr) (pkg, name string) {
 	return obj.Pkg().Path(), obj.Name()
 }
 
-// All returns the full nectar-vet analyzer suite in reporting order.
+// All returns the full nectar-vet analyzer suite in reporting order: the
+// five intraprocedural analyzers from the original suite plus the three
+// interprocedural ones built on the call graph (hotprop, shardsafe) and
+// the unit-safety checker (unitsafe).
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, Detrange, Seededrand, Rawgo, Hotpath}
+	return []*Analyzer{Walltime, Detrange, Seededrand, Rawgo, Hotpath, Hotprop, Shardsafe, Unitsafe}
 }

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"nectar/internal/analysis"
@@ -52,22 +53,59 @@ func TestData() string {
 	return p
 }
 
+// TB is the testing surface Run needs. It is satisfied by *testing.T;
+// the harness's own tests substitute a recorder to assert which
+// mismatches Run reports.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Loaders are shared across every Run call in the process, keyed by
+// testdata root: the standard library and any real module packages a
+// fixture imports (internal/sim, internal/obs) are parsed and
+// type-checked once for the whole test suite instead of once per
+// analyzer test. Fixture packages are immutable for the life of a test
+// binary, so the cache needs no invalidation.
+var (
+	loadersMu sync.Mutex
+	loaders   = make(map[string]*loader)
+)
+
+func sharedLoader(root string) *loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	ld, ok := loaders[root]
+	if !ok {
+		ld = &loader{
+			fset:  token.NewFileSet(),
+			root:  root,
+			cache: make(map[string]*loaded),
+		}
+		ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+		loaders[root] = ld
+	}
+	return ld
+}
+
 // Run loads each package dir testdata/src/<path>, applies a to it, and
 // reports mismatches between diagnostics and // want expectations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	ld := &loader{
-		fset:  token.NewFileSet(),
-		root:  filepath.Join(testdata, "src"),
-		cache: make(map[string]*loaded),
-	}
-	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	run(t, testdata, a, pkgPaths...)
+}
+
+// run is Run behind the TB seam (so the harness can test itself).
+func run(t TB, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := sharedLoader(filepath.Join(testdata, "src"))
 	for _, path := range pkgPaths {
 		runOne(t, ld, a, path)
 	}
 }
 
-func runOne(t *testing.T, ld *loader, a *analysis.Analyzer, pkgPath string) {
+func runOne(t TB, ld *loader, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
 	lp, err := ld.load(pkgPath)
 	if err != nil {
@@ -139,7 +177,7 @@ type expectation struct {
 var wantLiteral = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
 // collectExpectations scans every comment for the `want` marker.
-func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*expectation {
+func collectExpectations(t TB, fset *token.FileSet, files []*ast.File) map[lineKey][]*expectation {
 	t.Helper()
 	out := make(map[lineKey][]*expectation)
 	for _, f := range files {

@@ -1,0 +1,145 @@
+package analysistest
+
+// The harness tests itself through the TB seam: run() is driven with a
+// recording TB and a stub analyzer, and the tests assert exactly which
+// mismatches it reports. The good fixture proves the capabilities the
+// real analyzer tests lean on — regexp want patterns, quoted literals,
+// and several want literals on one line matching several diagnostics —
+// and the bad fixture proves that both failure directions (want with no
+// diagnostic, diagnostic with no want) surface as errors.
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"nectar/internal/analysis"
+)
+
+// recordingTB captures Errorf/Fatalf output instead of failing the real
+// test. Fatalf panics with a sentinel so run() unwinds the way it would
+// under *testing.T.
+type recordingTB struct {
+	errors []string
+	fatal  string
+}
+
+type tbFatal struct{}
+
+func (r *recordingTB) Helper() {}
+
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(tbFatal{})
+}
+
+// runRecorded drives run() with a recording TB, swallowing the Fatalf
+// sentinel panic.
+func runRecorded(t *testing.T, a *analysis.Analyzer, pkgs ...string) *recordingTB {
+	t.Helper()
+	rec := &recordingTB{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(tbFatal); !ok {
+					panic(p)
+				}
+			}
+		}()
+		run(rec, TestData(), a, pkgs...)
+	}()
+	return rec
+}
+
+// markAnalyzer reports "mark call #N" at every call to a function named
+// mark (N counts across the package in file order), and two diagnostics
+// at every call to a function named twice — the shape the multi-want
+// fixture line needs.
+func markAnalyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "marktest",
+		Doc:  "harness self-test stub: flags calls to mark and twice",
+		Run: func(pass *analysis.Pass) (any, error) {
+			n := 0
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(node ast.Node) bool {
+					call, ok := node.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch id.Name {
+					case "mark":
+						n++
+						pass.Reportf(call.Pos(), "mark call #%d", n)
+					case "twice":
+						pass.Reportf(call.Pos(), "twice: first report")
+						pass.Reportf(call.Pos(), "twice: second report")
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// TestHarnessCleanFixture: a fixture whose wants all match (including a
+// regexp pattern, a quoted literal, and a two-wants line) produces no
+// errors.
+func TestHarnessCleanFixture(t *testing.T) {
+	rec := runRecorded(t, markAnalyzer(), "harness/good")
+	if rec.fatal != "" {
+		t.Fatalf("unexpected Fatalf: %s", rec.fatal)
+	}
+	for _, e := range rec.errors {
+		t.Errorf("unexpected harness error: %s", e)
+	}
+}
+
+// TestHarnessMismatches: the bad fixture must yield exactly one
+// unmatched-want error and one unexpected-diagnostic error.
+func TestHarnessMismatches(t *testing.T) {
+	rec := runRecorded(t, markAnalyzer(), "harness/bad")
+	if rec.fatal != "" {
+		t.Fatalf("unexpected Fatalf: %s", rec.fatal)
+	}
+	var missing, unexpected int
+	for _, e := range rec.errors {
+		switch {
+		case strings.Contains(e, "expected diagnostic matching"):
+			missing++
+			if !strings.Contains(e, "diagnostic that never fires") {
+				t.Errorf("unmatched-want error lost the pattern: %s", e)
+			}
+		case strings.Contains(e, "unexpected diagnostic"):
+			unexpected++
+			if !strings.Contains(e, "mark call #1") {
+				t.Errorf("unexpected-diagnostic error lost the message: %s", e)
+			}
+		default:
+			t.Errorf("unrecognized harness error: %s", e)
+		}
+	}
+	if missing != 1 || unexpected != 1 {
+		t.Errorf("got %d unmatched-want and %d unexpected-diagnostic errors, want 1 and 1\nerrors: %q",
+			missing, unexpected, rec.errors)
+	}
+}
+
+// TestHarnessMalformedWant: a want comment with no string literal is a
+// hard failure, not a silent skip.
+func TestHarnessMalformedWant(t *testing.T) {
+	rec := runRecorded(t, markAnalyzer(), "harness/malformed")
+	if !strings.Contains(rec.fatal, "malformed want comment") {
+		t.Errorf("Fatalf = %q, want a malformed-want report", rec.fatal)
+	}
+}

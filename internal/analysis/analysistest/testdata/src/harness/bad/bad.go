@@ -1,0 +1,15 @@
+// Package bad is a harness self-test fixture that deliberately
+// mismatches: one want that no diagnostic satisfies, and one diagnostic
+// with no want. The harness's own tests assert that run reports both.
+package bad
+
+func mark() {}
+
+func phantom() {
+	// want `diagnostic that never fires`
+	_ = 0
+}
+
+func surprise() {
+	mark() // no want comment: the harness must flag this diagnostic
+}

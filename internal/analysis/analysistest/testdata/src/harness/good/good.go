@@ -1,0 +1,25 @@
+// Package good is a harness self-test fixture where every diagnostic
+// is expected: it exercises regexp want patterns, quoted-literal wants,
+// and two diagnostics (with two want literals) landing on one line.
+package good
+
+func mark() {}
+
+func twice() {}
+
+func one() {
+	mark() // want `mark call #\d+`
+}
+
+func two() {
+	mark() // want `mark call #2`
+	mark() // want `mark call #3`
+}
+
+func pair() {
+	twice() // want `twice: first report` `twice: second report`
+}
+
+func quoted() {
+	mark() // want "mark call #4"
+}

@@ -1,0 +1,9 @@
+// Package malformed holds a want comment with no string literal; the
+// harness must Fatalf rather than silently ignore it.
+package malformed
+
+func mark() {}
+
+func oops() {
+	mark() // want no literal here
+}

@@ -45,3 +45,22 @@ func TestHotpath(t *testing.T) {
 		"hotpathtest",
 	)
 }
+
+func TestHotprop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Hotprop,
+		"hotproptest",
+	)
+}
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Shardsafe,
+		"shardsafetest",
+	)
+}
+
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Unitsafe,
+		"nectar/internal/sim/uspos", // deterministic package: positives + sanctioned forms
+		"other/units",               // non-deterministic package: silent
+	)
+}

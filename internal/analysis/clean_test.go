@@ -12,6 +12,11 @@ import (
 // the module and fails on any undirected diagnostic. This makes a
 // determinism violation break `go test ./...` locally — not just the CI
 // lint job — the moment it is written.
+//
+// The module is loaded and type-checked exactly once (LoadPackages
+// shares one types universe across packages and analyzers), and the
+// interprocedural analyzers get the same whole-program view the
+// standalone nectar-vet binary builds.
 func TestRepoLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -24,12 +29,13 @@ func TestRepoLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
+	prog := analysis.NewProgram(pkgs)
 	var total int
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("typecheck %s: %v", pkg.PkgPath, terr)
 		}
-		diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+		diags, err := analysis.RunAnalyzersWith(prog, pkg, analysis.All())
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.PkgPath, err)
 		}

@@ -14,17 +14,33 @@ import (
 //	                                     comment) in the whole function.
 //	//nectar:hotpath                   — mark a function as an allocation-
 //	                                     free fast path; the hotpath
-//	                                     analyzer then audits its body.
+//	                                     analyzer audits its body and the
+//	                                     hotprop analyzer audits everything
+//	                                     it transitively calls.
+//	//nectar:hotpath-exempt <reason>   — prune a function (and everything
+//	                                     reachable only through it) from
+//	                                     hotprop's transitive audit.
+//	//nectar:shard-owned               — mark a type or struct field as
+//	                                     per-shard state; shardsafe then
+//	                                     requires a receiver/parameter
+//	                                     ownership chain at every access.
+//	//nectar:shard-boundary <reason>   — mark a function as an audited
+//	                                     cross-domain surface (the PDES
+//	                                     outbox/barrier code); shardsafe
+//	                                     skips its body.
 //
 // Directive hygiene is checked mechanically: an unknown verb (usually a
-// typo — "allow-waltime") or an allow-walltime without a justification is
-// itself a diagnostic, so a misspelled escape hatch can never silently
-// disable a check.
+// typo — "allow-waltime") or a waiver without a justification is itself
+// a diagnostic, so a misspelled escape hatch can never silently disable
+// a check.
 
 const (
 	dirPrefix        = "//nectar:"
 	DirAllowWalltime = "allow-walltime"
 	DirHotpath       = "hotpath"
+	DirHotpathExempt = "hotpath-exempt"
+	DirShardOwned    = "shard-owned"
+	DirShardBoundary = "shard-boundary"
 )
 
 // directive is one parsed //nectar: comment.
@@ -74,11 +90,20 @@ func checkDirectiveHygiene(pass *Pass, f *ast.File) {
 			if d.arg == "" {
 				pass.Reportf(d.pos, "//nectar:allow-walltime requires a reason (e.g. //nectar:allow-walltime measures sweep wall clock)")
 			}
-		case DirHotpath:
-			// Placement is validated by the hotpath analyzer.
+		case DirHotpathExempt:
+			if d.arg == "" {
+				pass.Reportf(d.pos, "//nectar:hotpath-exempt requires a reason (e.g. //nectar:hotpath-exempt cold reconfiguration path)")
+			}
+		case DirShardBoundary:
+			if d.arg == "" {
+				pass.Reportf(d.pos, "//nectar:shard-boundary requires a reason (e.g. //nectar:shard-boundary window-barrier outbox drain)")
+			}
+		case DirHotpath, DirShardOwned:
+			// Placement is validated by the hotpath/hotprop/shardsafe
+			// analyzers respectively.
 		default:
-			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s and %s",
-				dirPrefix+d.verb, DirAllowWalltime, DirHotpath)
+			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s, %s, %s, %s, and %s",
+				dirPrefix+d.verb, DirAllowWalltime, DirHotpath, DirHotpathExempt, DirShardOwned, DirShardBoundary)
 		}
 	}
 }
@@ -90,8 +115,8 @@ func checkDirectiveHygiene(pass *Pass, f *ast.File) {
 // function. A directive anywhere else — two lines up, inside an unrelated
 // block — covers nothing, which the testdata pins down.
 type suppressor struct {
-	lines     map[int]bool          // line numbers covered
-	funcSpans []span                // body ranges of annotated functions
+	lines     map[int]bool // line numbers covered
+	funcSpans []span       // body ranges of annotated functions
 }
 
 type span struct{ from, to token.Pos }

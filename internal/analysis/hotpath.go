@@ -29,6 +29,10 @@ import (
 //     boxing a concrete value into an interface escapes it.
 //   - capturing closures: a func literal referencing variables from the
 //     enclosing function allocates the closure (and often the captures).
+//
+// The rules themselves live in hotChecker/checkHotBody so that hotprop
+// (the interprocedural extension) can apply the identical audit to every
+// function transitively reachable from an annotated root.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc: "for functions annotated //nectar:hotpath, report obvious allocation sources: fmt.Sprintf/Markf-style " +
@@ -54,10 +58,14 @@ func runHotpath(pass *Pass) (any, error) {
 		// Collect the doc groups of annotated functions so misplaced
 		// directives (not on a func decl) can be reported.
 		annotated := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		var order []*ast.FuncDecl
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
 				for _, c := range fd.Doc.List {
 					if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirHotpath {
+						if annotated[fd.Doc] == nil {
+							order = append(order, fd)
+						}
 						annotated[fd.Doc] = fd
 					}
 				}
@@ -73,52 +81,74 @@ func runHotpath(pass *Pass) (any, error) {
 				}
 			}
 		}
-		for _, fd := range annotated {
-			if fd.Body != nil {
-				checkHotFunc(pass, fd)
+		for _, fd := range order {
+			if fd.Body == nil {
+				continue
 			}
+			name := fd.Name.Name
+			hc := &hotChecker{
+				info: pass.TypesInfo,
+				report: func(pos token.Pos, format string, args ...any) {
+					pass.Reportf(pos, "hotpath "+name+": "+format, args...)
+				},
+			}
+			checkHotBody(hc, span{fd.Pos(), fd.End()}, fd.Recv, fd.Type, fd.Body)
 		}
 	}
 	return nil, nil
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
-	presized := presizedLocals(pass, fd)
-	var walk func(n ast.Node) bool
-	walk = func(n ast.Node) bool {
+// hotChecker applies the intraprocedural hotpath purity rules to one
+// function body and reports findings through an analyzer-specific sink:
+// hotpath prefixes the annotated function's name, hotprop wraps the
+// message in a call-chain sentence (callgraph.go).
+type hotChecker struct {
+	info   *types.Info
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// checkHotBody audits one function body. captureSpan is the source range
+// of the enclosing top-level declaration: closure-capture analysis flags
+// func literals referencing variables declared inside that span but
+// outside the literal itself. recv and typ supply the parameter lists
+// whose slices count as caller-managed storage for the append rule.
+func checkHotBody(hc *hotChecker, captureSpan span, recv *ast.FieldList, typ *ast.FuncType, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	presized := hc.presizedLocals(recv, typ, body)
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isPanicCall(pass, n) {
+			if hc.isPanicCall(n) {
 				// Invariant-violation path: arguments (typically a
 				// Sprintf) only evaluate when the simulation is already
 				// dead. Skip the whole subtree.
 				return false
 			}
-			checkHotCall(pass, fd, n, presized)
+			hc.checkCall(n, presized)
 		case *ast.AssignStmt:
-			checkHotAssign(pass, fd, n)
+			hc.checkAssign(n)
 		case *ast.FuncLit:
-			checkCapture(pass, fd, n)
+			hc.checkCapture(captureSpan, n)
 		}
 		return true
-	}
-	ast.Inspect(fd.Body, walk)
+	})
 }
 
-// checkHotCall reports formatter calls, unsized appends, and interface-
+// checkCall reports formatter calls, unsized appends, and interface-
 // boxing arguments.
-func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, presized map[types.Object]bool) {
-	info := pass.TypesInfo
+func (hc *hotChecker) checkCall(call *ast.CallExpr, presized map[types.Object]bool) {
+	info := hc.info
 	// Formatter calls.
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if pkgNameOf(info, sel.X) == "fmt" && hotpathFmt[sel.Sel.Name] {
-			pass.Reportf(call.Pos(), "hotpath %s: fmt.%s allocates its variadic args; precompute the string",
-				fd.Name.Name, sel.Sel.Name)
+			hc.report(call.Pos(), "fmt.%s allocates its variadic args; precompute the string", sel.Sel.Name)
 			return
 		}
 		if _, name := recvPkgPath(info, sel); hotpathFmtMethods[name] {
-			pass.Reportf(call.Pos(), "hotpath %s: %s builds its variadic args even when tracing is off; "+
-				"precompute the mark name and call the non-formatting variant", fd.Name.Name, name)
+			hc.report(call.Pos(), "%s builds its variadic args even when tracing is off; "+
+				"precompute the mark name and call the non-formatting variant", name)
 			return
 		}
 	}
@@ -128,9 +158,8 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, presized map
 			if base, ok := call.Args[0].(*ast.Ident); ok {
 				if obj := info.ObjectOf(base); obj != nil {
 					if grown, ok := presized[obj]; ok && !grown {
-						pass.Reportf(call.Pos(), "hotpath %s: append grows local %q declared without capacity; "+
-							"pre-size it (make with cap, or reuse pooled storage via x[:0])",
-							fd.Name.Name, base.Name)
+						hc.report(call.Pos(), "append grows local %q declared without capacity; "+
+							"pre-size it (make with cap, or reuse pooled storage via x[:0])", base.Name)
 					}
 				}
 			}
@@ -151,15 +180,15 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, presized map
 		if at.Type == nil || types.IsInterface(at.Type.Underlying()) || at.IsNil() {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "hotpath %s: argument converts %s to %s (allocates); keep hot-path signatures concrete",
-			fd.Name.Name, at.Type, pt)
+		hc.report(arg.Pos(), "argument converts %s to %s (allocates); keep hot-path signatures concrete",
+			at.Type, pt)
 	}
 }
 
-// checkHotAssign reports assignments that box a concrete value into an
+// checkAssign reports assignments that box a concrete value into an
 // interface-typed variable or field.
-func checkHotAssign(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
-	info := pass.TypesInfo
+func (hc *hotChecker) checkAssign(as *ast.AssignStmt) {
+	info := hc.info
 	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
@@ -178,15 +207,14 @@ func checkHotAssign(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
 		if rt.Type == nil || types.IsInterface(rt.Type.Underlying()) || rt.IsNil() {
 			continue
 		}
-		pass.Reportf(as.Rhs[i].Pos(), "hotpath %s: assignment converts %s to %s (allocates)",
-			fd.Name.Name, rt.Type, lt)
+		hc.report(as.Rhs[i].Pos(), "assignment converts %s to %s (allocates)", rt.Type, lt)
 	}
 }
 
 // checkCapture reports func literals that capture variables from the
-// enclosing function.
-func checkCapture(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
-	info := pass.TypesInfo
+// enclosing declaration (the captureSpan).
+func (hc *hotChecker) checkCapture(captureSpan span, lit *ast.FuncLit) {
+	info := hc.info
 	seen := make(map[types.Object]bool)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -201,17 +229,17 @@ func checkCapture(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
 		if !ok || v.IsField() {
 			return true
 		}
-		// Captured iff declared inside the enclosing function but
+		// Captured iff declared inside the enclosing declaration but
 		// outside the literal itself.
-		if v.Pos() < fd.Pos() || v.Pos() >= fd.End() {
+		if v.Pos() < captureSpan.from || v.Pos() >= captureSpan.to {
 			return true // package-level or foreign
 		}
 		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
 			return true // the literal's own params/locals
 		}
 		seen[obj] = true
-		pass.Reportf(id.Pos(), "hotpath %s: closure captures %q (a capturing closure allocates); "+
-			"hoist the closure or pass state explicitly", fd.Name.Name, v.Name())
+		hc.report(id.Pos(), "closure captures %q (a capturing closure allocates); "+
+			"hoist the closure or pass state explicitly", v.Name())
 		return true
 	})
 }
@@ -222,12 +250,15 @@ func checkCapture(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
 // explicit cap, a reslice of existing storage, a call result such as a
 // pool Get, or a parameter). Fields and package-level slices are not in
 // the map (their capacity is amortized across calls).
-func presizedLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	info := pass.TypesInfo
+func (hc *hotChecker) presizedLocals(recv *ast.FieldList, typ *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	info := hc.info
 	out := make(map[types.Object]bool)
-	// Parameters and results are the caller's storage.
-	if fd.Type.Params != nil {
-		for _, fld := range fd.Type.Params.List {
+	// Parameters, results, and the receiver are the caller's storage.
+	for _, fl := range []*ast.FieldList{recv, typ.Params, typ.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, fld := range fl.List {
 			for _, name := range fld.Names {
 				if obj := info.ObjectOf(name); obj != nil {
 					out[obj] = true
@@ -235,16 +266,7 @@ func presizedLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 			}
 		}
 	}
-	if fd.Recv != nil {
-		for _, fld := range fd.Recv.List {
-			for _, name := range fld.Names {
-				if obj := info.ObjectOf(name); obj != nil {
-					out[obj] = true
-				}
-			}
-		}
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeclStmt:
 			// var s []T — no capacity.
@@ -316,9 +338,9 @@ func exprProvidesCapacity(info *types.Info, e ast.Expr) bool {
 }
 
 // isPanicCall reports whether call is the builtin panic.
-func isPanicCall(pass *Pass, call *ast.CallExpr) bool {
+func (hc *hotChecker) isPanicCall(call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
-	return ok && id.Name == "panic" && pass.TypesInfo.Types[call.Fun].IsBuiltin()
+	return ok && id.Name == "panic" && hc.info.Types[call.Fun].IsBuiltin()
 }
 
 // callSignature returns the signature of the called function, nil for

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Hotprop is the interprocedural extension of Hotpath: starting from
+// every function annotated //nectar:hotpath, it walks the program call
+// graph (callgraph.go — static calls, interface method sets, and named
+// function values handed to the approved spawn surfaces) and applies the
+// same allocation-purity rules to every function reached along the way.
+// A helper that is itself annotated //nectar:hotpath is audited by
+// Hotpath directly; a helper that legitimately allocates (a cold
+// reconfiguration path, a once-per-run setup) is pruned from the walk by
+// //nectar:hotpath-exempt <reason>, and everything reachable only
+// through it is pruned with it.
+//
+// Diagnostics carry the discovery chain from the annotated root to the
+// offending function, so "(*Mailbox).pop -> emit -> format" reads as the
+// path a hot event would actually take.
+//
+// Under the whole-program driver (standalone nectar-vet, the repo
+// regression test) the graph spans every module package; under
+// single-package drivers (go vet units, analysistest) it degrades to the
+// package at hand, which still exercises every rule the fixtures pin
+// down.
+var Hotprop = &Analyzer{
+	Name: "hotprop",
+	Doc: "transitive hotpath purity: every function reachable through the call graph from a //nectar:hotpath " +
+		"root must satisfy the hotpath allocation rules or carry //nectar:hotpath-exempt <reason>; diagnostics " +
+		"print the offending call chain. Also validates //nectar:hotpath-exempt placement.",
+	Run: runHotprop,
+}
+
+func runHotprop(pass *Pass) (any, error) {
+	// Placement: //nectar:hotpath-exempt must be a function declaration's
+	// doc comment (mirrors hotpath's own placement rule).
+	for _, f := range pass.Files {
+		onDecl := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirHotpathExempt {
+						onDecl[fd.Doc] = true
+					}
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			if onDecl[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirHotpathExempt {
+					pass.Reportf(d.pos, "//nectar:hotpath-exempt must be part of a function declaration's doc comment")
+				}
+			}
+		}
+	}
+
+	prog := programFor(pass)
+	prog.ensureHot()
+	for _, d := range prog.hotDiags[canonicalPkgPath(pass.PkgPath)] {
+		pass.Report(d)
+	}
+	return nil, nil
+}

@@ -18,9 +18,16 @@ import (
 // Package loading for the standalone driver and the repo-wide regression
 // test. The driver deliberately depends only on the standard library:
 // package metadata comes from `go list -json`, syntax from go/parser,
-// and types from go/types with the "source" importer (which is
-// module-aware and type-checks dependencies — including the standard
-// library — from source, caching per importer instance).
+// and types from go/types. Module packages are type-checked exactly once,
+// in dependency order, and the results are shared: when package B imports
+// module package A, B's type checker is handed the *types.Package we
+// already produced for A rather than a fresh source-importer re-load.
+// Besides the obvious speedup (the module used to be type-checked twice —
+// once directly and once inside the importer's cache), this gives the
+// whole load a single types universe, which the interprocedural analyzers
+// (callgraph.go) rely on: a *types.Func observed at a call site in B is
+// pointer-identical to the one defined in A. Only the standard library
+// still goes through the source importer (one shared, caching instance).
 
 // Package is one loaded, type-checked package ready for analysis.
 type Package struct {
@@ -40,6 +47,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 }
 
@@ -106,6 +114,10 @@ func typecheckFiles(fset *token.FileSet, pkgPath string, filenames []string, imp
 // with full syntax and types. Test files and test-only packages are
 // excluded — the determinism analyzers exempt them by design, and the
 // non-test compilation covers every file the contract applies to.
+//
+// Packages are type-checked in dependency order with a shared package
+// map, so each module package is checked exactly once and cross-package
+// references share one types universe (see the package comment above).
 func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -114,13 +126,27 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	var out []*Package
+	byPath := make(map[string]listedPackage, len(listed))
+	var paths []string
 	for _, lp := range listed {
 		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
+		byPath[lp.ImportPath] = lp
+		paths = append(paths, lp.ImportPath)
+	}
+	sort.Strings(paths)
+	order := topoOrder(paths, byPath)
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		shared:   make(map[string]*types.Package, len(order)),
+		fallback: importer.ForCompiler(fset, "source", nil),
+		dir:      dir,
+	}
+	var out []*Package
+	for _, path := range order {
+		lp := byPath[path]
 		filenames := make([]string, len(lp.GoFiles))
 		for i, f := range lp.GoFiles {
 			filenames[i] = filepath.Join(lp.Dir, f)
@@ -130,15 +156,72 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkg.Dir = lp.Dir
+		if pkg.Types != nil {
+			imp.shared[canonicalPkgPath(lp.ImportPath)] = pkg.Types
+		}
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
 	return out, nil
 }
 
+// topoOrder sorts paths so every package follows the packages it imports
+// (restricted to the loaded set). Cycles are impossible in valid Go; a
+// malformed input degrades to the insertion order of the residue.
+func topoOrder(paths []string, byPath map[string]listedPackage) []string {
+	order := make([]string, 0, len(paths))
+	state := make(map[string]int, len(paths)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		for _, imp := range byPath[path].Imports {
+			if _, ok := byPath[imp]; ok {
+				visit(imp)
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// moduleImporter resolves imports of already-checked module packages from
+// the shared map and everything else (the standard library) through the
+// caching source importer.
+type moduleImporter struct {
+	shared   map[string]*types.Package
+	fallback types.Importer
+	dir      string
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.shared[path]; ok {
+		return p, nil
+	}
+	if from, ok := mi.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, mi.dir, 0)
+	}
+	return mi.fallback.Import(path)
+}
+
 // RunAnalyzers applies each analyzer to pkg and returns the diagnostics
-// in (analyzer, position) order.
+// in (analyzer, position) order. The interprocedural analyzers see only
+// pkg itself; use RunAnalyzersWith to give them whole-program context.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersWith(nil, pkg, analyzers)
+}
+
+// RunAnalyzersWith is RunAnalyzers with an explicit Program supplying
+// cross-package syntax and facts to the interprocedural analyzers
+// (hotprop, shardsafe). A nil prog makes each such analyzer fall back to
+// a single-package view of pkg.
+func RunAnalyzersWith(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -148,6 +231,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			PkgPath:   pkg.PkgPath,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Program:   prog,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -170,4 +254,28 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // FormatDiagnostic renders d as file:line:col: analyzer: message.
 func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
 	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// JSONDiagnostic is the machine-readable form of one finding, emitted by
+// nectar-vet -json as one JSON object per line so CI can annotate PRs.
+type JSONDiagnostic struct {
+	Pos      string   `json:"pos"` // file:line:col
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"` // hotprop call chain, root first
+}
+
+// JSONLine renders d as its one-line JSON form (no trailing newline).
+func JSONLine(fset *token.FileSet, d Diagnostic) string {
+	jd := JSONDiagnostic{
+		Pos:      fset.Position(d.Pos).String(),
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+		Chain:    d.Chain,
+	}
+	b, err := json.Marshal(jd)
+	if err != nil { // unreachable: JSONDiagnostic has no unmarshalable fields
+		panic(err)
+	}
+	return string(b)
 }

@@ -1,0 +1,19 @@
+// Package units holds the same unit offences as the uspos fixture but
+// lives outside the deterministic package set: unitsafe must stay
+// silent (CLIs and tools may bridge wall and virtual time freely).
+package units
+
+import (
+	"time"
+
+	"nectar/internal/sim"
+)
+
+func wallIn(d time.Duration) sim.Duration { return sim.Duration(d) }
+
+func rawVar() sim.Duration {
+	var d sim.Duration = 1500
+	return d
+}
+
+func dropInt(t sim.Time) int64 { return int64(t) }

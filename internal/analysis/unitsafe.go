@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Unitsafe enforces virtual-time unit hygiene in the deterministic
+// packages. The simulator's clock is sim.Time/sim.Duration (virtual
+// nanoseconds); the standard library's is time.Duration (wall
+// nanoseconds). The two are structurally identical int64s, so the type
+// checker happily lets a stray conversion smuggle wall time into the
+// event queue or publish a virtual timestamp as if it were a wall-clock
+// reading — and a raw literal like `k.After(1500, ...)` compiles whether
+// the author meant nanoseconds or microseconds. Unitsafe reports:
+//
+//   - conversions between time.Duration and sim.Time/sim.Duration in
+//     either direction: wall and virtual time never mix inside the
+//     kernel;
+//   - raw numeric literals adopted as sim.Time/sim.Duration: durations
+//     must be built from the unit constructors (sim.Micros, sim.Millis)
+//     or named constants. Zero is exempt (it is the zero value, not a
+//     quantity), as are literals scaling a unit-bearing value (d * 3,
+//     w / 2) and const declarations (that is where named constants come
+//     from);
+//   - numeric casts that drop the unit type (int64(t), float64(d), ...):
+//     use the sim accessors (Time.Micros, Duration.Nanos) or keep the
+//     sim type.
+//
+// Package sim itself is exempt: it is the conversion layer, and its
+// helpers are exactly where these casts are supposed to live. Test files
+// are exempt as everywhere else in the suite.
+var Unitsafe = &Analyzer{
+	Name: "unitsafe",
+	Doc: "virtual-time unit hygiene in deterministic packages: no time.Duration<->sim unit conversions, no raw " +
+		"numeric literals where sim.Duration/sim.Time is expected (use sim.Micros or named constants), and no " +
+		"unit-dropping numeric casts outside the sim conversion helpers.",
+	Run: runUnitsafe,
+}
+
+// simPkgPath is the unit-defining package, exempt from unitsafe.
+const simPkgPath = "nectar/internal/sim"
+
+// simUnitName returns "sim.Time"/"sim.Duration" when t is one of the
+// virtual-time unit types, "" otherwise.
+func simUnitName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != simPkgPath {
+		return ""
+	}
+	if name := obj.Name(); name == "Time" || name == "Duration" {
+		return "sim." + name
+	}
+	return ""
+}
+
+// isWallDuration reports whether t is time.Duration.
+func isWallDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// isNumericBasic reports whether t is a plain numeric type (the target
+// of a unit-dropping cast).
+func isNumericBasic(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func runUnitsafe(pass *Pass) (any, error) {
+	path := canonicalPkgPath(pass.PkgPath)
+	if !IsDeterministicPkg(path) || path == simPkgPath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		checkUnitsFile(pass, f)
+	}
+	return nil, nil
+}
+
+func checkUnitsFile(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// Parent-aware walk: constDepth tracks const declarations, and each
+	// literal consults its immediate (paren-stripped) parent for the
+	// scaling exemption.
+	var stack []ast.Node
+	parentOf := func(skipParens bool) ast.Node {
+		for i := len(stack) - 2; i >= 0; i-- {
+			if _, ok := stack[i].(*ast.ParenExpr); ok && skipParens {
+				continue
+			}
+			return stack[i]
+		}
+		return nil
+	}
+	constDepth := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			if gd, ok := top.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				constDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if gd, ok := n.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+			constDepth++
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkUnitConversion(info, report, n)
+		case *ast.BasicLit:
+			if n.Kind != token.INT && n.Kind != token.FLOAT {
+				return true
+			}
+			tv, ok := info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			unit := simUnitName(tv.Type)
+			if unit == "" {
+				return true
+			}
+			if tv.Value != nil && constant.Sign(tv.Value) == 0 {
+				return true // the zero value, not a quantity
+			}
+			if constDepth > 0 {
+				return true // defining a named constant: the approved form
+			}
+			if be, ok := parentOf(true).(*ast.BinaryExpr); ok && (be.Op == token.MUL || be.Op == token.QUO) {
+				return true // scalar scaling of a unit-bearing value
+			}
+			report(n.Pos(), "raw numeric literal %s adopts type %s with no unit; build it with sim.Micros/sim.Millis or a named constant",
+				n.Value, unit)
+		}
+		return true
+	})
+}
+
+// checkUnitConversion reports wall<->virtual conversions and
+// unit-dropping numeric casts.
+func checkUnitConversion(info *types.Info, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	srcTV, ok := info.Types[call.Args[0]]
+	if !ok || srcTV.Type == nil {
+		return
+	}
+	src := srcTV.Type
+	dstUnit, srcUnit := simUnitName(dst), simUnitName(src)
+	switch {
+	case dstUnit != "" && isWallDuration(src):
+		report(call.Pos(), "conversion adopts wall-clock time.Duration as %s; virtual and wall time do not mix — "+
+			"build virtual durations with sim.Micros or named constants", dstUnit)
+	case isWallDuration(dst) && srcUnit != "":
+		report(call.Pos(), "conversion republishes %s as wall-clock time.Duration; keep virtual time in sim units "+
+			"or go through an explicit accessor at the measurement boundary", srcUnit)
+	case isNumericBasic(dst) && srcUnit != "":
+		report(call.Pos(), "conversion to %s drops the %s unit; use the sim accessors (Time.Micros, Duration.Nanos) "+
+			"or keep the sim type", dst, srcUnit)
+	}
+}

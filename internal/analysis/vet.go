@@ -16,14 +16,21 @@ import (
 //
 //   - Standalone: `nectar-vet ./...` loads the named packages itself
 //     (LoadPackages) and reports findings. This is the mode CI and the
-//     repo-wide regression test use.
+//     repo-wide regression test use. The whole module shares one types
+//     universe, so the interprocedural analyzers (hotprop, shardsafe)
+//     see the full cross-package call graph and fact set.
 //   - Vet tool: `go vet -vettool=$(which nectar-vet) ./...`. The go
 //     command drives the tool with the unitchecker protocol: a -V=full
 //     probe for the build cache key, a -flags probe for supported
 //     flags, then one invocation per package with a JSON *.cfg file
 //     describing the unit. We type-check each unit with the module-aware
 //     "source" importer rather than the supplied export data, which
-//     keeps the driver standard-library-only.
+//     keeps the driver standard-library-only. The interprocedural
+//     analyzers degrade to a per-unit view in this mode.
+//
+// Both modes accept -json: diagnostics are then emitted on stdout as one
+// JSON object per line ({"pos","analyzer","message","chain"}), the form
+// CI ingests to annotate PRs.
 
 // vetConfig mirrors the fields of the go command's vet configuration
 // file that this driver consumes (the full schema matches
@@ -52,23 +59,46 @@ func Main(args []string) int {
 		if a == "-V=full" || a == "--V=full" {
 			// The go command parses "<name> version <detail>" to key the
 			// build cache.
-			fmt.Printf("nectar-vet version %s-nectar1\n", runtime.Version())
+			fmt.Printf("nectar-vet version %s-nectar2\n", runtime.Version())
 			return 0
 		}
 		if a == "-flags" || a == "--flags" {
-			// We expose no analyzer flags; report an empty flag set.
-			fmt.Println("[]")
+			// Advertise the flags we accept so `go vet -vettool=... -json`
+			// can pass them through to each unit invocation.
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON lines on stdout"}]`)
 			return 0
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return vetUnit(args[0])
+	jsonOut := false
+	rest := args[:0:0]
+	for _, a := range args {
+		switch a {
+		case "-json", "--json", "-json=true", "--json=true":
+			jsonOut = true
+		case "-json=false", "--json=false":
+			jsonOut = false
+		default:
+			rest = append(rest, a)
+		}
 	}
-	return standalone(args)
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], jsonOut)
+	}
+	return standalone(rest, jsonOut)
+}
+
+// emit writes one diagnostic in the selected format: human-readable on
+// stderr, or a JSON line on stdout with -json.
+func emit(fset *token.FileSet, d Diagnostic, jsonOut bool) {
+	if jsonOut {
+		fmt.Println(JSONLine(fset, d))
+	} else {
+		fmt.Fprintln(os.Stderr, FormatDiagnostic(fset, d))
+	}
 }
 
 // standalone loads patterns (default ./...) and reports all findings.
-func standalone(patterns []string) int {
+func standalone(patterns []string, jsonOut bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
@@ -79,19 +109,20 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
 		return 1
 	}
+	prog := NewProgram(pkgs)
 	exit := 0
 	for _, pkg := range pkgs {
 		for _, te := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "nectar-vet: typecheck %s: %v\n", pkg.PkgPath, te)
 			exit = 1
 		}
-		diags, err := RunAnalyzers(pkg, All())
+		diags, err := RunAnalyzersWith(prog, pkg, All())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nectar-vet:", err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, FormatDiagnostic(pkg.Fset, d))
+			emit(pkg.Fset, d, jsonOut)
 			exit = 2
 		}
 	}
@@ -99,7 +130,7 @@ func standalone(patterns []string) int {
 }
 
 // vetUnit analyzes one package unit described by a go vet config file.
-func vetUnit(cfgPath string) int {
+func vetUnit(cfgPath string, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
@@ -148,7 +179,7 @@ func vetUnit(cfgPath string) int {
 		return 1
 	}
 	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, FormatDiagnostic(fset, d))
+		emit(fset, d, jsonOut)
 	}
 	if len(diags) > 0 {
 		return 2

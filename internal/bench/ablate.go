@@ -245,7 +245,7 @@ func AblateSwitching(cost *model.CostModel) (*AblateSwitchingResult, error) {
 		}
 		var total float64
 		for i := range firstBytes {
-			total += float64(firstBytes[i] - sends[i])
+			total += float64((firstBytes[i] - sends[i]).Nanos())
 		}
 		return total / float64(len(firstBytes)), nil
 	}

@@ -45,7 +45,7 @@ func Micro(cost *model.CostModel) (*MicroResult, error) {
 		}
 		tx := marks[fmt.Sprintf("dl.tx.%d", a.ID)]
 		rx := marks[fmt.Sprintf("cab.rx.arrive.%d", b.ID)]
-		res.HubFirstByteNS = float64(rx - tx)
+		res.HubFirstByteNS = float64((rx - tx).Nanos())
 	}
 
 	// Context switch: ping-pong between two CAB threads on one CAB.

@@ -164,7 +164,7 @@ func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int) (
 	table := fmt.Sprintf("%6s %10s %12s %12s\n", "flow", "route", "done(us)", "Mbit/s")
 	for fi := 0; fi < nFlows; fi++ {
 		table += fmt.Sprintf("%6d %7d->%d %12.1f %12.1f\n",
-			fi, routes[fi][0], routes[fi][1], float64(ends[fi])/1e3,
+			fi, routes[fi][0], routes[fi][1], ends[fi].Micros(),
 			mbps(perFlow*msgBytes, sim.Duration(ends[fi])))
 	}
 	return &pdesFlowResult{table: table, metrics: metrics, wallS: wall, windows: windows}, nil

@@ -236,5 +236,5 @@ func bytesTime(n int, bytesPerSec int64) sim.Duration {
 	if n <= 0 || bytesPerSec <= 0 {
 		return 0
 	}
-	return sim.Duration(int64(n) * int64(sim.Second) / bytesPerSec)
+	return sim.Duration(int64(n) * sim.Second.Nanos() / bytesPerSec)
 }

@@ -55,7 +55,7 @@ func (c *Capture) Text() string {
 		} else if p.Corrupted {
 			flag = " [CORRUPTED]"
 		}
-		fmt.Fprintf(&b, "%12.3fus %-10s %4dB  %s%s\n", float64(p.At)/1e3, p.Link, p.Bytes, p.Summary, flag)
+		fmt.Fprintf(&b, "%12.3fus %-10s %4dB  %s%s\n", p.At.Micros(), p.Link, p.Bytes, p.Summary, flag)
 	}
 	return b.String()
 }

@@ -86,7 +86,7 @@ type Event struct {
 
 // String renders the event as one trace line.
 func (e Event) String() string {
-	s := fmt.Sprintf("%10.3fus n%d %-8s %-7s %s", float64(e.At)/1e3, e.Node, e.Layer, e.Kind, e.Name)
+	s := fmt.Sprintf("%10.3fus n%d %-8s %-7s %s", e.At.Micros(), e.Node, e.Layer, e.Kind, e.Name)
 	if e.Arg != "" {
 		s += " " + e.Arg
 	}

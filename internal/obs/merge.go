@@ -44,7 +44,7 @@ func (h *Histogram) merge(other *Histogram) {
 // — so merging the registries of a sharded run yields byte-identical JSON
 // to the sequential run's single-registry snapshot.
 func MergeSnapshots(at sim.Time, regs ...*Registry) *Snapshot {
-	s := &Snapshot{AtUS: float64(at) / 1e3}
+	s := &Snapshot{AtUS: at.Micros()}
 	counters := make(map[metricKey]uint64)
 	gauges := make(map[metricKey]uint64)
 	gaugeSeen := make(map[metricKey]bool)

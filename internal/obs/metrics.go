@@ -63,7 +63,7 @@ func (h *Histogram) Observe(d sim.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.buckets[bits.Len64(uint64(d))]++
+	h.buckets[bits.Len64(uint64(d.Nanos()))]++
 	h.count++
 	h.sum += d
 	if h.count == 1 || d < h.min {
@@ -204,7 +204,7 @@ type Snapshot struct {
 
 // Snapshot samples every counter, gauge, and histogram.
 func (r *Registry) Snapshot(at sim.Time) *Snapshot {
-	s := &Snapshot{AtUS: float64(at) / 1e3}
+	s := &Snapshot{AtUS: at.Micros()}
 	if r == nil {
 		return s
 	}

@@ -7,10 +7,14 @@ import "nectar/internal/sim"
 // All methods are nil-receiver tolerant so layers can emit
 // unconditionally; with no sink installed emission is a nil check.
 type Observer struct {
-	k        *sim.Kernel
-	reg      *Registry
-	sink     Sink
-	cap      *Capture
+	k   *sim.Kernel
+	reg *Registry
+	// The trace sink and wire capture record events in virtual-time
+	// order for one kernel; under PDES sharding each domain has its own
+	// (merged deterministically at the end of the run), so they are
+	// per-shard state.
+	sink     Sink     //nectar:shard-owned
+	cap      *Capture //nectar:shard-owned
 	nextSpan uint64
 }
 

@@ -64,11 +64,17 @@ type pendingInj struct {
 
 // Domain is one kernel participating in a Coupling.
 type Domain struct {
-	c        *Coupling
-	k        *Kernel
-	id       int
+	c  *Coupling
+	id int
+	// The domain's kernel and outbox are the per-shard state the PDES
+	// determinism proof rests on: only the owning worker goroutine may
+	// touch them inside a window, and cross-domain traffic must go
+	// through the window-barrier drain (//nectar:shard-boundary
+	// surfaces). The annotations make nectar-vet's shardsafe analyzer
+	// enforce exactly that.
+	k        *Kernel //nectar:shard-owned
 	gateways []Gateway
-	out      [][]pendingInj // outbox per destination domain id
+	out      [][]pendingInj //nectar:shard-owned
 
 	// Adaptive window barrier. Safe windows are short (the HUB setup
 	// lookahead is 700 ns of virtual time, typically a handful of events
@@ -227,6 +233,8 @@ func (c *Coupling) Domain(i int) *Domain { return c.domains[i] }
 
 // Now returns the coupling's virtual time: the maximum over domain clocks
 // (all clocks agree after RunUntil/RunFor).
+//
+//nectar:shard-boundary reads every domain clock between windows, when workers are quiescent behind the doneSeq barrier
 func (c *Coupling) Now() Time {
 	var t Time
 	for _, d := range c.domains {
@@ -248,6 +256,13 @@ func (c *Coupling) RunUntil(horizon Time) error { return c.run(horizon, false) }
 // RunFor is RunUntil(Now()+d).
 func (c *Coupling) RunFor(d Duration) error { return c.run(c.Now()+Time(d), false) }
 
+// run is the window scheduler: it computes each safe window, publishes
+// it to the domain workers, and drains the outboxes at the barrier. It
+// is the one function allowed to touch every domain's kernel and outbox;
+// the winSeq/doneSeq atomics give those cross-domain accesses their
+// happens-before edges (see the Domain comment above).
+//
+//nectar:shard-boundary window-barrier scheduler and outbox drain, ordered by the winSeq/doneSeq atomics
 func (c *Coupling) run(horizon Time, drain bool) error {
 	if len(c.domains) == 0 {
 		return nil

@@ -164,6 +164,8 @@ func (k *Kernel) NewSignal(name string) *Signal {
 
 // Signal wakes one waiter (the longest-waiting first). Wake-ups are
 // scheduled at the current instant, after the caller finishes its event.
+//
+//nectar:hotpath-exempt wake-up closures allocate on the blocking path; the zero-alloc guarantee covers the polling fast path, which never parks
 func (s *Signal) Signal() {
 	// Timed waiters are woken before plain waiters only if they registered
 	// earlier; for determinism we simply prefer plain FIFO order: plain

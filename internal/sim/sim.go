@@ -73,8 +73,22 @@ func (d Duration) String() string {
 // Micros reports the duration in (fractional) microseconds.
 func (d Duration) Micros() float64 { return float64(d) / 1e3 }
 
+// Nanos reports the duration as integer virtual nanoseconds. It is the
+// unit-dropping exit point: code outside package sim should reach for it
+// (or Micros/Seconds) instead of casting, so the unitsafe analyzer can
+// tell a deliberate measurement boundary from an accidental one.
+func (d Duration) Nanos() int64 { return int64(d) }
+
 // Seconds reports the duration in (fractional) seconds.
 func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros reports the instant in (fractional) microseconds since the
+// virtual epoch.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Nanos reports the instant as integer virtual nanoseconds since the
+// virtual epoch; like Duration.Nanos, the audited unit-dropping exit.
+func (t Time) Nanos() int64 { return int64(t) }
 
 // Micros constructs a Duration from fractional microseconds.
 func Micros(us float64) Duration { return Duration(us * 1e3) }
@@ -155,20 +169,27 @@ func (t Timer) When() Time {
 
 // Kernel is the discrete-event simulation kernel.
 type Kernel struct {
-	now  Time
-	seq  uint64
-	heap []heapEntry // 4-ary min-heap over (at, seq)
+	now Time
+	seq uint64
+	// The event heap, arena, and free list are per-shard state under
+	// PDES sharding (one kernel per domain): //nectar:shard-owned makes
+	// shardsafe reject any access that cannot prove same-domain
+	// ownership through a receiver/parameter chain.
+	heap []heapEntry //nectar:shard-owned
 
-	arena []event // event slot storage, recycled via free
-	free  []int32 // free slots in arena
+	arena []event //nectar:shard-owned
+	free  []int32 //nectar:shard-owned
 
-	procs    map[*Proc]struct{} // live procs (for deadlock reporting)
-	current  *Proc              // proc currently executing, nil = kernel loop
-	handoff  chan struct{}      // proc -> kernel: "I have yielded"
-	failure  error              // a proc panicked or Fatalf was called
-	running  bool
-	tracer   func(name string, at Time)
-	observer any // opaque slot for the observability layer (internal/obs)
+	procs   map[*Proc]struct{} // live procs (for deadlock reporting)
+	current *Proc              // proc currently executing, nil = kernel loop
+	handoff chan struct{}      // proc -> kernel: "I have yielded"
+	failure error              // a proc panicked or Fatalf was called
+	running bool
+	tracer  func(name string, at Time)
+	// Opaque slot for the observability layer (internal/obs). Traces and
+	// metrics are per-domain under PDES sharding (merged at the end of
+	// the run), so the slot is shard-owned like the heap.
+	observer any //nectar:shard-owned
 }
 
 // SetObserver attaches an opaque observability object to the kernel. The
