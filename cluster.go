@@ -33,6 +33,7 @@ import (
 	"nectar/internal/model"
 	"nectar/internal/nectarine"
 	"nectar/internal/obs"
+	"nectar/internal/prof"
 	"nectar/internal/proto/datalink"
 	"nectar/internal/proto/ip"
 	"nectar/internal/proto/nectar"
@@ -385,6 +386,45 @@ func (cl *Cluster) Kernels() []*sim.Kernel {
 		ks[i] = d.Kernel()
 	}
 	return ks
+}
+
+// EnableProfiling attaches a wall-clock profile to the coupling scheduler
+// and returns it (nil, and a no-op, when the cluster is sequential — the
+// profiler measures where the seconds of a *sharded* run go). Call before
+// Run/RunFor; profiling does not perturb virtual time, so results remain
+// byte-identical to an unprofiled run.
+func (cl *Cluster) EnableProfiling() *prof.Profile {
+	if cl.coupling == nil {
+		return nil
+	}
+	p := prof.New(len(cl.domains))
+	cl.coupling.SetProfile(p)
+	return p
+}
+
+// ProfileReport exports the attached wall-clock profile with the
+// cluster-level sampling counters filled in: total kernel dispatches
+// across shards, wire-path traffic, and cross-shard frames. It returns
+// nil when profiling was never enabled, and must only be called between
+// runs (the coupling's worker-join barrier orders the collector reads).
+func (cl *Cluster) ProfileReport() *prof.Report {
+	if cl.coupling == nil {
+		return nil
+	}
+	r := cl.coupling.Profile().Report()
+	if r == nil {
+		return nil
+	}
+	for _, k := range cl.Kernels() {
+		r.KernelDispatches += k.Dispatched()
+	}
+	snap := cl.MetricsSnapshot()
+	r.WireFrames = snap.Sum(obs.LayerFiber, "frames")
+	r.WireBytes = snap.Sum(obs.LayerFiber, "bytes")
+	for _, up := range cl.uplinks {
+		r.CrossShardFrames += up.CrossShardFrames()
+	}
+	return r
 }
 
 // MetricsSnapshot exports the cluster's metrics at the current virtual

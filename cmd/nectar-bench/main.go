@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -48,6 +49,9 @@ var (
 	shardsFlag   = flag.Int("shards", 1, "shard kernels per experiment cluster (1 = sequential; results identical either way)")
 	benchJSON    = flag.String("benchjson", "BENCH_kernel.json", "output path for the kernel experiment's JSON report")
 	pdesJSON     = flag.String("pdesjson", "BENCH_pdes.json", "output path for the pdes experiment's JSON report")
+	profFlag     = flag.Bool("prof", false, "profile the pdes experiment's sharded run: BENCH_pdes.json gains a `profile` wall-clock breakdown")
+	cpuProfile   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file (samples carry shard/phase labels under -prof)")
+	memProfile   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
 )
 
 func main() {
@@ -61,6 +65,17 @@ func main() {
 	}
 	bench.SetParallelism(*parallelFlag)
 	bench.SetExperimentShards(*shardsFlag)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nectar-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nectar-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	cost := model.Default1990()
 	exit := 0
 	for _, a := range args {
@@ -72,7 +87,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# %s: %.2fs wall (parallel=%d shards=%d)\n",
 			a, time.Since(start).Seconds(), bench.Parallelism(), bench.ExperimentShards())
 	}
+	// Profiles are flushed explicitly: os.Exit skips deferred calls.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "nectar-bench: -memprofile: %v\n", err)
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// writeHeapProfile snapshots live-heap allocations to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile reflects retained memory
+	return pprof.WriteHeapProfile(f)
 }
 
 func run(name string, cost *model.CostModel) error {
@@ -192,7 +228,7 @@ func run(name string, cost *model.CostModel) error {
 				shards = 4
 			}
 		}
-		r, err := bench.Pdes(cost, shards)
+		r, err := bench.Pdes(cost, shards, *profFlag)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,95 @@
+// Command nectar-prof renders and validates the wall-clock profile the
+// sharded pdes experiment collects: the scheduler phase breakdown
+// (choose / barrier / inline compute / drain), per-shard utilization
+// with the spin-vs-park wait split, window-size and lookahead
+// histograms, and a per-shard busy timeline — the Figure-6-style view
+// of where real time went.
+//
+// Usage:
+//
+//	nectar-prof [-shards N] [-topn N] [-json]        fresh profiled run
+//	nectar-prof -in BENCH_pdes.json [-topn N]        render a saved profile
+//	nectar-prof -check BENCH_pdes.json [-min 0.95]   validate a saved profile
+//
+// -check exits nonzero when the profile is missing or fails its internal
+// consistency rules (phase times must tile the wall clock to at least
+// -min, event counts must reconcile); CI's profile-smoke job runs it
+// against the artifact nectar-bench -prof wrote.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nectar/internal/bench"
+	"nectar/internal/model"
+	"nectar/internal/prof"
+)
+
+var (
+	shardsFlag = flag.Int("shards", 2, "shard kernels for the fresh profiled run (clamped to [2,8])")
+	topnFlag   = flag.Int("topn", 0, "limit per-shard breakdown rows to the N busiest shards (0 = all)")
+	jsonFlag   = flag.Bool("json", false, "emit the profile report as JSON instead of text")
+	inFlag     = flag.String("in", "", "render the profile section of a saved BENCH_pdes.json instead of running")
+	checkFlag  = flag.String("check", "", "validate the profile section of a saved BENCH_pdes.json and exit")
+	minFlag    = flag.Float64("min", 0.95, "minimum accounted wall-clock fraction -check accepts")
+)
+
+func main() {
+	flag.Parse()
+	if *inFlag != "" && *checkFlag != "" {
+		fmt.Fprintln(os.Stderr, "nectar-prof: -in and -check are mutually exclusive")
+		os.Exit(2)
+	}
+
+	var r *prof.Report
+	switch {
+	case *checkFlag != "":
+		r = load(*checkFlag)
+		if err := r.Check(*minFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "nectar-prof: %s: %v\n", *checkFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: profile ok: %.1f%% of %.3fs wall accounted across %d shards, %d windows\n",
+			*checkFlag, 100*r.AccountedFraction, r.WallSeconds, r.Shards, r.Windows)
+		return
+	case *inFlag != "":
+		r = load(*inFlag)
+	default:
+		var err error
+		r, err = bench.PdesProfile(model.Default1990(), *shardsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nectar-prof: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonFlag {
+		os.Stdout.Write(r.JSON())
+		fmt.Println()
+		return
+	}
+	fmt.Print(r.Format(*topnFlag))
+}
+
+// load reads a BENCH_pdes.json report and returns its profile section,
+// exiting with a diagnostic when the file is unreadable or unprofiled.
+func load(path string) *prof.Report {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nectar-prof: %v\n", err)
+		os.Exit(1)
+	}
+	var rep bench.PdesReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "nectar-prof: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if rep.Profile == nil {
+		fmt.Fprintf(os.Stderr, "nectar-prof: %s has no profile section (run nectar-bench -prof pdes)\n", path)
+		os.Exit(1)
+	}
+	return rep.Profile
+}

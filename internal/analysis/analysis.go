@@ -131,6 +131,7 @@ var deterministicPrefixes = []string{
 	"nectar/internal/bench",
 	"nectar/internal/model",
 	"nectar/internal/pool",
+	"nectar/internal/prof",
 	"nectar/internal/netdev",
 	"nectar/internal/sockets",
 	"nectar/internal/nectarine",

@@ -70,6 +70,7 @@ func Main(args []string) int {
 		}
 	}
 	jsonOut := false
+	waivers := false
 	rest := args[:0:0]
 	for _, a := range args {
 		switch a {
@@ -77,6 +78,8 @@ func Main(args []string) int {
 			jsonOut = true
 		case "-json=false", "--json=false":
 			jsonOut = false
+		case "-waivers", "--waivers":
+			waivers = true
 		default:
 			rest = append(rest, a)
 		}
@@ -84,7 +87,68 @@ func Main(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnit(rest[0], jsonOut)
 	}
+	if waivers {
+		return waiverInventory(rest)
+	}
 	return standalone(rest, jsonOut)
+}
+
+// Waiver is one escape-hatch directive in the inventory nectar-vet
+// -waivers emits: every //nectar: annotation that suppresses or scopes a
+// check, with its justification. CI diffs this inventory so a new waiver
+// is an explicit, reviewed event rather than a silent suppression.
+type Waiver struct {
+	Pos       string `json:"pos"` // file:line:col
+	Package   string `json:"package"`
+	Directive string `json:"directive"`
+	Reason    string `json:"reason"`
+}
+
+// waiverDirectives lists the directive verbs that weaken or scope a
+// check and therefore belong in the inventory. Pure markers (hotpath,
+// shard-owned) opt code *into* checking and are excluded.
+var waiverDirectives = map[string]bool{
+	DirAllowWalltime: true,
+	DirHotpathExempt: true,
+	DirShardBoundary: true,
+}
+
+// waiverInventory loads patterns (default ./...) and prints every waiver
+// directive as one JSON line on stdout, in deterministic (package, file,
+// line) order. Exit 0 even when waivers exist: the inventory is a
+// reporting surface; judging a waiver is the reviewer's job.
+func waiverInventory(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	pkgs, err := LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		return 1
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range fileDirectives(pkg.Fset, f) {
+				if !waiverDirectives[d.verb] {
+					continue
+				}
+				w := Waiver{
+					Pos:       pkg.Fset.Position(d.pos).String(),
+					Package:   canonicalPkgPath(pkg.PkgPath),
+					Directive: d.verb,
+					Reason:    d.arg,
+				}
+				b, err := json.Marshal(w)
+				if err != nil { // unreachable: Waiver is all strings
+					panic(err)
+				}
+				fmt.Println(string(b))
+			}
+		}
+	}
+	return 0
 }
 
 // emit writes one diagnostic in the selected format: human-readable on

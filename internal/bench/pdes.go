@@ -11,6 +11,7 @@ import (
 
 	"nectar"
 	"nectar/internal/model"
+	"nectar/internal/prof"
 	"nectar/internal/proto/wire"
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/threads"
@@ -58,6 +59,13 @@ type PdesReport struct {
 	WorkersRequested int `json:"workers_requested"`
 	WorkersEffective int `json:"workers_effective"`
 
+	// Oversubscribed flags a measurement where the effective shard workers
+	// exceed the usable cores: the recorded speedup then reflects time-
+	// sliced workers, not parallel hardware, and must not be read as a
+	// scheduler verdict (the trap the original 0.85x-on-one-core run of
+	// this file fell into).
+	Oversubscribed bool `json:"oversubscribed"`
+
 	SequentialSeconds float64 `json:"sequential_seconds"`
 	ShardedSeconds    float64 `json:"sharded_seconds"`
 	Speedup           float64 `json:"speedup"`
@@ -69,6 +77,10 @@ type PdesReport struct {
 	Table string `json:"table"`
 
 	Checksum ChecksumBench `json:"checksum"`
+
+	// Profile is the sharded run's wall-clock breakdown (nectar-bench
+	// -prof); absent on unprofiled runs.
+	Profile *prof.Report `json:"profile,omitempty"`
 }
 
 // pdesFlowResult is the virtual-time outcome of one pdes run.
@@ -76,7 +88,8 @@ type pdesFlowResult struct {
 	table   string
 	metrics []byte
 	wallS   float64
-	windows uint64 // safe windows executed (0 when sequential)
+	windows uint64       // safe windows executed (0 when sequential)
+	profile *prof.Report // wall-clock breakdown (nil unless profiled)
 }
 
 // runPdesFlows drives nodes/2 disjoint RMP flows (node 2i -> node 2i+1,
@@ -86,7 +99,7 @@ type pdesFlowResult struct {
 // round-robin shard assignment every flow crosses the HUB between
 // shards, so the sharded run exercises the coupling on its data and ack
 // paths in both directions.
-func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int) (*pdesFlowResult, error) {
+func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int, profiled bool) (*pdesFlowResult, error) {
 	var cfg nectar.Config
 	cfg.Cost = cost
 	if shards > 1 {
@@ -94,6 +107,9 @@ func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int) (
 	}
 	start := time.Now() //nectar:allow-walltime measures the run's real wall clock for BENCH_pdes.json
 	cl := nectar.NewCluster(&cfg)
+	if profiled {
+		cl.EnableProfiling()
+	}
 	ns := make([]*nectar.Node, nodes)
 	for i := range ns {
 		ns[i] = cl.AddNode()
@@ -160,6 +176,7 @@ func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int) (
 	metrics := cl.MetricsSnapshot().JSON()
 	wall := time.Since(start).Seconds() //nectar:allow-walltime measures the run's real wall clock for BENCH_pdes.json
 	windows := cl.Windows()
+	profile := cl.ProfileReport()
 
 	table := fmt.Sprintf("%6s %10s %12s %12s\n", "flow", "route", "done(us)", "Mbit/s")
 	for fi := 0; fi < nFlows; fi++ {
@@ -167,7 +184,7 @@ func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int) (
 			fi, routes[fi][0], routes[fi][1], ends[fi].Micros(),
 			mbps(perFlow*msgBytes, sim.Duration(ends[fi])))
 	}
-	return &pdesFlowResult{table: table, metrics: metrics, wallS: wall, windows: windows}, nil
+	return &pdesFlowResult{table: table, metrics: metrics, wallS: wall, windows: windows, profile: profile}, nil
 }
 
 // checksumBench measures the word-at-a-time checksum against the scalar
@@ -223,7 +240,9 @@ func scalarSumWords(sum uint32, data []byte) uint32 {
 // (at least 4 nodes) with one RMP flow per node pair, once sequentially
 // and once with `shards` shard kernels, verifying byte-identity of the
 // flow table and metrics snapshot and reporting the wall-clock ratio.
-func Pdes(cost *model.CostModel, shards int) (*PdesReport, error) {
+// With profiled set, the sharded leg runs under the wall-clock profiler
+// and the report carries its phase breakdown.
+func Pdes(cost *model.CostModel, shards int, profiled bool) (*PdesReport, error) {
 	if shards < 2 {
 		shards = 2
 	}
@@ -236,11 +255,11 @@ func Pdes(cost *model.CostModel, shards int) (*PdesReport, error) {
 	}
 	const perFlow, msgBytes = 192, 1024
 
-	seq, err := runPdesFlows(cost, 1, nodes, perFlow, msgBytes)
+	seq, err := runPdesFlows(cost, 1, nodes, perFlow, msgBytes, false)
 	if err != nil {
 		return nil, fmt.Errorf("sequential run: %w", err)
 	}
-	shd, err := runPdesFlows(cost, shards, nodes, perFlow, msgBytes)
+	shd, err := runPdesFlows(cost, shards, nodes, perFlow, msgBytes, profiled)
 	if err != nil {
 		return nil, fmt.Errorf("sharded run: %w", err)
 	}
@@ -262,23 +281,56 @@ func Pdes(cost *model.CostModel, shards int) (*PdesReport, error) {
 		Identical:         seq.table == shd.table && bytes.Equal(seq.metrics, shd.metrics),
 		Table:             seq.table,
 		Checksum:          checksumBench(),
+		Profile:           shd.profile,
 	}
+	r.Oversubscribed = r.WorkersEffective > r.NumCPU
 	if shd.wallS > 0 {
 		r.Speedup = seq.wallS / shd.wallS
 	}
 	return r, nil
 }
 
+// PdesProfile runs only the sharded leg of the pdes experiment under the
+// wall-clock profiler and returns its breakdown (the fresh-run mode of
+// cmd/nectar-prof, which has no use for the sequential baseline).
+func PdesProfile(cost *model.CostModel, shards int) (*prof.Report, error) {
+	if shards < 2 {
+		shards = 2
+	}
+	if shards > 8 {
+		shards = 8
+	}
+	nodes := 4 * shards
+	if nodes > 16 {
+		nodes = 16
+	}
+	const perFlow, msgBytes = 192, 1024
+	shd, err := runPdesFlows(cost, shards, nodes, perFlow, msgBytes, true)
+	if err != nil {
+		return nil, err
+	}
+	return shd.profile, nil
+}
+
 // Format renders the report for the CLI.
 func (r *PdesReport) Format() string {
 	out := "Sharded conservative parallel simulation (lookahead = HUB setup)\n"
+	out += fmt.Sprintf("env: gomaxprocs=%d num_cpu=%d workers=%d(+1 scheduler)\n",
+		r.GoMaxProcs, r.NumCPU, r.WorkersEffective)
+	if r.Oversubscribed {
+		out += fmt.Sprintf("WARNING: %d shard workers on %d usable core(s): the speedup below measures time-sliced workers, not parallel hardware\n",
+			r.WorkersEffective, r.NumCPU)
+	}
 	out += r.Table
 	out += fmt.Sprintf("%d nodes, %d flows x %d msgs x %dB, %d safe windows\n",
 		r.Nodes, r.Flows, r.MessagesPerFlow, r.MessageBytes, r.Windows)
-	out += fmt.Sprintf("sequential %.2fs, %d shards %.2fs -> %.2fx, identical=%v (gomaxprocs=%d, cpus=%d)\n",
-		r.SequentialSeconds, r.WorkersEffective, r.ShardedSeconds, r.Speedup, r.Identical, r.GoMaxProcs, r.NumCPU)
+	out += fmt.Sprintf("sequential %.2fs, %d shards %.2fs -> %.2fx, identical=%v\n",
+		r.SequentialSeconds, r.WorkersEffective, r.ShardedSeconds, r.Speedup, r.Identical)
 	out += fmt.Sprintf("checksum (%dB): word-at-a-time %.0f MB/s vs scalar %.0f MB/s -> %.2fx\n",
 		r.Checksum.SizeB, r.Checksum.WordMBps, r.Checksum.ScalarMBps, r.Checksum.Speedup)
+	if r.Profile != nil {
+		out += "\n" + r.Profile.Format(0)
+	}
 	return out
 }
 

@@ -139,13 +139,15 @@ func TestShardedExperimentsIdentical(t *testing.T) {
 
 // TestPdesReport runs the pdes experiment end to end on a small workload
 // shape by driving runPdesFlows directly, requiring identical virtual-time
-// output between sequential and 2-shard runs.
+// output between sequential and 2-shard runs. The sharded leg runs under
+// the wall-clock profiler, which must not perturb virtual time, and must
+// produce an internally consistent breakdown.
 func TestPdesReport(t *testing.T) {
-	seq, err := runPdesFlows(nil, 1, 4, 24, 256)
+	seq, err := runPdesFlows(nil, 1, 4, 24, 256, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shd, err := runPdesFlows(nil, 2, 4, 24, 256)
+	shd, err := runPdesFlows(nil, 2, 4, 24, 256, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,5 +159,23 @@ func TestPdesReport(t *testing.T) {
 	}
 	if seq.table == "" {
 		t.Fatal("empty flow table")
+	}
+	if seq.profile != nil {
+		t.Error("unprofiled sequential run produced a profile")
+	}
+	if shd.profile == nil {
+		t.Fatal("profiled sharded run produced no profile")
+	}
+	// The CI smoke job holds the full-size run to 0.95; the threshold is
+	// relaxed here because this reduced workload's wall clock is tiny and
+	// scheduler preemption noise weighs proportionally more.
+	if err := shd.profile.Check(0.90); err != nil {
+		t.Errorf("profile consistency: %v\n%s", err, shd.profile.JSON())
+	}
+	if shd.profile.CrossShardFrames == 0 {
+		t.Error("sharded flows crossed no shard boundary according to the profile")
+	}
+	if shd.profile.KernelDispatches == 0 {
+		t.Error("kernel dispatch sampling counter stayed zero")
 	}
 }

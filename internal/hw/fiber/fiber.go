@@ -92,6 +92,7 @@ type Link struct {
 	dropped   uint64
 	corrupted uint64
 	bytes     uint64
+	crossSent uint64 // cross-capable sends (next hop leaves the shard)
 
 	obs *obs.Observer
 }
@@ -168,6 +169,7 @@ func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 		// Cross-capable: its arrival constrains the shard's earliest
 		// output until the delivery fires (deliveries fire in start
 		// order, so popping the front matches this append).
+		l.crossSent++
 		l.gwPending = append(l.gwPending, start)
 		l.k.At(start, func() {
 			l.gwPending = l.gwPending[1:]
@@ -233,6 +235,12 @@ func (l *Link) SetFaultFn(fn func(seq uint64) (drop, corrupt bool)) { l.faultFn 
 func (l *Link) Stats() (sent, dropped, corrupted, bytes uint64) {
 	return l.sent, l.dropped, l.corrupted, l.bytes
 }
+
+// CrossShardFrames reports how many frames this gateway link carried whose
+// next route hop left the shard. It is deliberately kept out of the obs
+// registry: the metric only exists under sharded execution, and the merged
+// snapshot must stay byte-identical to a sequential run's.
+func (l *Link) CrossShardFrames() uint64 { return l.crossSent }
 
 func (l *Link) String() string {
 	return fmt.Sprintf("fiber(%s)", l.name)

@@ -152,7 +152,7 @@ func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 		// link. The packet leaves its origin shard for good, so detach
 		// it from its (single-threaded) pool first.
 		pkt.Disown()
-		ip.dom.Send(dst, t, func() { out.SendAt(pkt, t) })
+		ip.dom.SendSized(dst, t, pkt.WireLen(), func() { out.SendAt(pkt, t) })
 		return
 	}
 	ip.k.At(t, func() { out.SendAt(pkt, t) })

@@ -111,8 +111,15 @@ type HistStats struct {
 	SumUS float64 `json:"sum_us"`
 	MinUS float64 `json:"min_us"`
 	P50US float64 `json:"p50_us"`
+	P90US float64 `json:"p90_us"`
 	P99US float64 `json:"p99_us"`
 	MaxUS float64 `json:"max_us"`
+}
+
+// Stats summarizes the histogram: count, sum, min/max, and the p50, p90
+// and p99 upper bounds at bucket resolution.
+func (h *Histogram) Stats() *HistStats {
+	return h.stats()
 }
 
 // stats summarizes the histogram.
@@ -122,6 +129,7 @@ func (h *Histogram) stats() *HistStats {
 		SumUS: h.sum.Micros(),
 		MinUS: h.min.Micros(),
 		P50US: h.quantile(0.50).Micros(),
+		P90US: h.quantile(0.90).Micros(),
 		P99US: h.quantile(0.99).Micros(),
 		MaxUS: h.max.Micros(),
 	}
@@ -275,8 +283,8 @@ func (s *Snapshot) Table() string {
 	fmt.Fprintf(&b, "  %-9s %-22s %-12s %s\n", "layer", "metric", "scope", "value")
 	for _, e := range s.Entries {
 		if e.Hist != nil {
-			fmt.Fprintf(&b, "  %-9s %-22s %-12s n=%d p50=%.1fus p99=%.1fus max=%.1fus\n",
-				e.Layer, e.Name, e.Scope, e.Hist.Count, e.Hist.P50US, e.Hist.P99US, e.Hist.MaxUS)
+			fmt.Fprintf(&b, "  %-9s %-22s %-12s n=%d p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+				e.Layer, e.Name, e.Scope, e.Hist.Count, e.Hist.P50US, e.Hist.P90US, e.Hist.P99US, e.Hist.MaxUS)
 			continue
 		}
 		fmt.Fprintf(&b, "  %-9s %-22s %-12s %d\n", e.Layer, e.Name, e.Scope, e.Value)

@@ -34,11 +34,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
+
+	"nectar/internal/prof"
 )
 
 // MaxTime is the "never" sentinel used by the coupling scheduler and by
@@ -56,10 +61,13 @@ type Gateway interface {
 	EarliestOutput(net Time) Time
 }
 
-// pendingInj is one buffered inter-domain message.
+// pendingInj is one buffered inter-domain message. bytes carries the
+// message's wire size when known (SendSized) so the profiler can
+// attribute cross-shard drain volume; it never affects scheduling.
 type pendingInj struct {
-	at Time
-	fn func()
+	at    Time
+	bytes int
+	fn    func()
 }
 
 // Domain is one kernel participating in a Coupling.
@@ -93,6 +101,13 @@ type Domain struct {
 	stop    atomic.Bool   // scheduler -> worker: exit when idle
 	exited  chan struct{} // closed by the worker on exit
 	wp      parker        // worker's park/wake point
+
+	// wprof is the shard's wall-clock profiling collector (nil unless the
+	// coupling has a profile attached): the worker goroutine accrues its
+	// own compute time and spin-vs-park barrier wait split into it. All
+	// collector methods are nil-receiver tolerant, so the disabled barrier
+	// path costs one nil check.
+	wprof *prof.Worker
 }
 
 // spinLimit bounds busy-polling at the window barrier before parking on
@@ -126,26 +141,29 @@ func (p *parker) wakeIf() {
 // awaitWindow blocks until a window newer than last is published (returning
 // its sequence) or the scheduler asks the worker to exit (returning ok =
 // false). It spins first and parks only when the simulation goes quiet.
-func (d *Domain) awaitWindow(last uint64) (seq uint64, ok bool) {
+// parked reports whether the wait ever blocked on the wake channel (the
+// profiler's spin-vs-park barrier split).
+func (d *Domain) awaitWindow(last uint64) (seq uint64, ok, parked bool) {
 	for {
 		for i := 0; i < d.c.spin; i++ {
 			if s := d.winSeq.Load(); s != last {
-				return s, true
+				return s, true, parked
 			}
 			if d.stop.Load() {
-				return 0, false
+				return 0, false, parked
 			}
 		}
 		d.wp.parked.Store(true)
 		if d.winSeq.Load() == last && !d.stop.Load() {
 			<-d.wp.wake
+			parked = true
 		}
 		d.wp.parked.Store(false)
 		if s := d.winSeq.Load(); s != last {
-			return s, true
+			return s, true, parked
 		}
 		if d.stop.Load() {
-			return 0, false
+			return 0, false, parked
 		}
 	}
 }
@@ -186,12 +204,17 @@ func (d *Domain) AddGateway(g Gateway) { d.gateways = append(d.gateways, g) }
 // window barrier; at must be >= the current safe bound, which holds by
 // construction when at carries a gateway's lookahead. Send must be called
 // from within d's executing window (i.e. from an event on d's kernel).
-func (d *Domain) Send(dst *Domain, at Time, fn func()) {
+func (d *Domain) Send(dst *Domain, at Time, fn func()) { d.SendSized(dst, at, 0, fn) }
+
+// SendSized is Send carrying the message's wire size in bytes, which the
+// wall-clock profiler attributes to the source shard's cross-shard drain
+// volume. Pass 0 when no meaningful size exists.
+func (d *Domain) SendSized(dst *Domain, at Time, bytes int, fn func()) {
 	if dst == d {
 		d.k.At(at, fn)
 		return
 	}
-	d.out[dst.id] = append(d.out[dst.id], pendingInj{at: at, fn: fn})
+	d.out[dst.id] = append(d.out[dst.id], pendingInj{at: at, bytes: bytes, fn: fn})
 }
 
 // Coupling couples kernels into one logical simulation advancing in
@@ -204,7 +227,21 @@ type Coupling struct {
 	multi   uint64 // windows with >1 active domain (true parallelism)
 	sp      parker // scheduler's park/wake point (workers signal done)
 	spin    int    // barrier poll budget before parking (set per run)
+
+	// pr is the attached wall-clock profile, nil unless profiling was
+	// requested. Every collector call below is nil-receiver tolerant, so
+	// the disabled scheduler pays one nil check per phase and the worker
+	// barrier path stays allocation-free (AllocsPerRun-guarded).
+	pr *prof.Profile
 }
+
+// SetProfile attaches a wall-clock profile to the coupling (nil detaches
+// it). It must only be called between runs: the scheduler and its workers
+// read the pointer un-synchronized while a run is in flight.
+func (c *Coupling) SetProfile(p *prof.Profile) { c.pr = p }
+
+// Profile returns the attached wall-clock profile, nil when disabled.
+func (c *Coupling) Profile() *prof.Profile { return c.pr }
 
 // Windows reports how many safe windows the scheduler has executed; the
 // ratio of events to windows is the effective batching the lookahead
@@ -300,31 +337,86 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 	if procs > len(c.domains) {
 		c.spin = spinLimit
 	}
+	// Scheduler-goroutine pprof labels: the drain loop, the publish+await
+	// barrier, and inline single-shard windows all execute here, so they
+	// get the same shard/phase tagging as the workers. Built before the
+	// profiled wall-clock span opens — label-map construction is setup
+	// cost, not a scheduler phase.
+	var schedBase, schedBarrier, schedDrain context.Context
+	var schedInline []context.Context
+	if c.pr != nil {
+		schedBase = context.Background()
+		schedBarrier = pprof.WithLabels(schedBase, pprof.Labels("phase", "barrier"))
+		schedDrain = pprof.WithLabels(schedBase, pprof.Labels("phase", "drain"))
+		schedInline = make([]context.Context, len(c.domains))
+		for i := range schedInline {
+			schedInline[i] = pprof.WithLabels(schedBase, pprof.Labels("shard", strconv.Itoa(i), "phase", "compute"))
+		}
+		defer pprof.SetGoroutineLabels(schedBase)
+	}
+	active := make([]*Domain, 0, len(c.domains))
+
+	tRun := c.pr.Now()
 	for _, d := range c.domains {
 		d.stop.Store(false)
+		d.wprof = c.pr.Worker(d.id)
 		if d.wp.wake == nil {
 			d.wp = newParker()
 		}
 		d.exited = make(chan struct{})
 		go func(d *Domain) {
 			defer close(d.exited)
+			// Profiling state: w is nil on unprofiled runs, making every
+			// collector call below a nil check. The pprof label contexts
+			// tag CPU samples by shard and phase (compute vs barrier) so
+			// `go tool pprof` can slice the same run the Report does.
+			w := d.wprof
+			var computeCtx, barrierCtx context.Context
+			if w != nil {
+				shard := strconv.Itoa(d.id)
+				computeCtx = pprof.WithLabels(context.Background(), pprof.Labels("shard", shard, "phase", "compute"))
+				barrierCtx = pprof.WithLabels(context.Background(), pprof.Labels("shard", shard, "phase", "barrier"))
+				pprof.SetGoroutineLabels(barrierCtx)
+				defer pprof.SetGoroutineLabels(context.Background())
+			}
 			// Resume from the last *completed* window: the scheduler may
 			// publish the first window of this run before the worker's
 			// first load, so initializing from winSeq would skip it.
+			// tw is the worker's chained stopwatch: each collector call
+			// returns the sample that starts the next interval, so wait
+			// and compute tile the worker's wall clock exactly.
 			last := d.doneSeq.Load()
+			tw := w.Now()
 			for {
-				s, ok := d.awaitWindow(last)
+				s, ok, parked := d.awaitWindow(last)
 				if !ok {
 					return
 				}
+				tw = w.Wait(tw, parked)
+				var ev0 uint64
+				if w != nil {
+					ev0 = d.k.steps
+					pprof.SetGoroutineLabels(computeCtx)
+				}
 				d.werr = d.k.runBounded(Time(d.winB.Load()))
+				if w != nil {
+					tw = w.Compute(tw, d.k.steps-ev0)
+					pprof.SetGoroutineLabels(barrierCtx)
+				}
 				d.doneSeq.Store(s)
 				d.c.sp.wakeIf()
 				last = s
 			}
 		}(d)
 	}
+	// ts is the scheduler's chained stopwatch: each phase collector samples
+	// its end time once and returns it as the next phase's start, so
+	// choose, compute/barrier, and drain intervals tile the scheduler's
+	// wall clock exactly — collector bookkeeping is charged to the
+	// following phase instead of leaking into unaccounted gaps.
+	ts := c.pr.SpawnJoin(tRun)
 	defer func() {
+		tJoin := c.pr.Now()
 		for _, d := range c.domains {
 			d.stop.Store(true)
 			d.wp.wakeIf()
@@ -332,9 +424,9 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 		for _, d := range c.domains {
 			<-d.exited
 		}
+		c.pr.SpawnJoin(tJoin)
+		c.pr.RunEnd(tRun)
 	}()
-	active := make([]*Domain, 0, len(c.domains))
-
 	for {
 		// Next Event Time per domain; MaxTime = idle.
 		minNET := MaxTime
@@ -345,6 +437,7 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 		}
 		if minNET == MaxTime {
 			// Globally idle.
+			c.pr.ChooseAbort(ts)
 			if !drain {
 				for _, d := range c.domains {
 					d.k.advanceTo(horizon)
@@ -363,6 +456,7 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 			return nil
 		}
 		if !drain && minNET > horizon {
+			c.pr.ChooseAbort(ts)
 			for _, d := range c.domains {
 				d.k.advanceTo(horizon)
 			}
@@ -376,15 +470,21 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 				net = at
 			}
 			for _, g := range d.gateways {
-				if e := g.EarliestOutput(net); e < b {
+				e := g.EarliestOutput(net)
+				if c.pr != nil && net < MaxTime && e < MaxTime {
+					c.pr.Lookahead(int64(e - net))
+				}
+				if e < b {
 					b = e
 				}
 			}
 		}
 		if b <= minNET {
+			c.pr.ChooseAbort(ts)
 			return fmt.Errorf("sim: coupling stalled at %v: safe bound %v <= next event %v (a gateway has zero lookahead)",
 				c.Now(), b, minNET)
 		}
+		span := int64(b - minNET) // virtual window width before horizon clamp
 		if !drain && b > horizon+1 {
 			b = horizon + 1 // runBounded is exclusive: executes events <= horizon
 		}
@@ -401,11 +501,30 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 				active = append(active, d)
 			}
 		}
+		ts = c.pr.Choose(ts, span, len(active))
 		var firstErr error
 		if len(active) == 1 {
-			firstErr = active[0].k.runBounded(b)
+			d := active[0]
+			var ev0 uint64
+			if c.pr != nil {
+				ev0 = d.k.steps
+				pprof.SetGoroutineLabels(schedInline[d.id])
+			}
+			firstErr = d.k.runBounded(b)
+			if c.pr != nil {
+				pprof.SetGoroutineLabels(schedBase)
+				ts = c.pr.Inline(ts, d.id, d.k.steps-ev0)
+				c.pr.WindowEvents(d.k.steps - ev0)
+			}
 		} else {
 			c.multi++
+			var ev0 uint64
+			if c.pr != nil {
+				for _, d := range active {
+					ev0 += d.k.steps
+				}
+				pprof.SetGoroutineLabels(schedBarrier)
+			}
 			for _, d := range active {
 				d.winB.Store(int64(b))
 				d.winSeq.Store(seq)
@@ -417,6 +536,15 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 					firstErr = err
 				}
 			}
+			if c.pr != nil {
+				pprof.SetGoroutineLabels(schedBase)
+				ts = c.pr.Barrier(ts)
+				var ev1 uint64
+				for _, d := range active {
+					ev1 += d.k.steps
+				}
+				c.pr.WindowEvents(ev1 - ev0)
+			}
 		}
 		if firstErr != nil {
 			return firstErr
@@ -424,6 +552,9 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 		// Barrier: drain outboxes in deterministic order (source domain
 		// index, then emission order). Every buffered timestamp is >= b >
 		// every destination clock, so At never schedules into the past.
+		if c.pr != nil {
+			pprof.SetGoroutineLabels(schedDrain)
+		}
 		for _, src := range c.domains {
 			for dstID := range src.out {
 				injs := src.out[dstID]
@@ -431,11 +562,18 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 					continue
 				}
 				dst := c.domains[dstID]
+				var bytes uint64
 				for _, inj := range injs {
 					dst.k.At(inj.at, inj.fn)
+					bytes += uint64(inj.bytes)
 				}
+				c.pr.DrainOut(src.id, uint64(len(injs)), bytes)
 				src.out[dstID] = injs[:0]
 			}
 		}
+		if c.pr != nil {
+			pprof.SetGoroutineLabels(schedBase)
+		}
+		ts = c.pr.Drain(ts)
 	}
 }

@@ -180,6 +180,11 @@ type Kernel struct {
 	arena []event //nectar:shard-owned
 	free  []int32 //nectar:shard-owned
 
+	// steps counts dispatched events for the whole life of the kernel: the
+	// profiler's sampling counter on the dispatch loop. One increment per
+	// event — cheap enough to stay unconditional.
+	steps uint64 //nectar:shard-owned
+
 	procs   map[*Proc]struct{} // live procs (for deadlock reporting)
 	current *Proc              // proc currently executing, nil = kernel loop
 	handoff chan struct{}      // proc -> kernel: "I have yielded"
@@ -383,11 +388,17 @@ func (k *Kernel) step() bool {
 	}
 	k.heapRemove(0)
 	k.now = top.at
+	k.steps++
 	fn := k.arena[top.slot].fn
 	k.freeSlot(top.slot)
 	fn()
 	return true
 }
+
+// Dispatched reports how many events the kernel has executed since
+// creation — the dispatch-loop sampling counter wall-clock profiling
+// (internal/prof) uses to attribute events to windows and shards.
+func (k *Kernel) Dispatched() uint64 { return k.steps }
 
 // Run executes events until the queue is empty or the horizon (if > 0) is
 // reached. It returns an error if a proc panicked or Fatalf was called.
