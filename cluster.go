@@ -94,6 +94,18 @@ type Config struct {
 	// ends of a busy flow on different shards is what buys parallelism;
 	// placing chatty neighbors together minimizes window overhead.
 	ShardOf func(nodeIdx int) int
+	// Flows, when non-nil, declares the COMPLETE communication graph of
+	// the workload as node-index pairs: node i may exchange frames with
+	// node j only if {i,j} (in either order) appears here. The
+	// declaration is a contract — a frame to an undeclared destination
+	// panics deterministically — and it is what makes sharded execution
+	// win: a gateway whose declared peers all live on its own shard can
+	// never emit cross-shard, so it stops constraining the safe bound
+	// entirely, and a flow-affinity partition (ShardByFlows over the
+	// same list) runs whole scheduling horizons per window instead of
+	// one transmit-latency margin. nil: any node may talk to any node
+	// (the conservative default).
+	Flows [][2]int
 }
 
 // Cluster is a simulated Nectar installation.
@@ -117,6 +129,10 @@ type Cluster struct {
 	domains   []*sim.Domain // one per shard
 	nodeShard []int         // node index -> shard
 	uplinks   []*fiber.Link // node index -> its CAB->HUB link (the shard gateway)
+
+	// Declared traffic matrix (Config.Flows): node index -> set of peer
+	// node indices it may exchange frames with. nil when undeclared.
+	flowPeers []map[int]bool
 }
 
 type hubLink struct{ fromHub, fromPort, toHub, toPort int }
@@ -135,6 +151,30 @@ func NewCluster(cfg *Config) *Cluster {
 		c.HubPorts = hub.DefaultPorts
 	}
 	cl := &Cluster{Cost: c.Cost, cfg: c}
+	if c.Flows != nil {
+		n := 0
+		for _, f := range c.Flows {
+			if f[0] < 0 || f[1] < 0 {
+				panic(fmt.Sprintf("nectar: Flows entry %v has a negative node index", f))
+			}
+			if f[0] >= n {
+				n = f[0] + 1
+			}
+			if f[1] >= n {
+				n = f[1] + 1
+			}
+		}
+		cl.flowPeers = make([]map[int]bool, n)
+		for _, f := range c.Flows {
+			for _, i := range f {
+				if cl.flowPeers[i] == nil {
+					cl.flowPeers[i] = map[int]bool{}
+				}
+			}
+			cl.flowPeers[f[0]][f[1]] = true
+			cl.flowPeers[f[1]][f[0]] = true
+		}
+	}
 	if c.Shards > 1 {
 		cl.coupling = sim.NewCoupling()
 		for i := 0; i < c.Shards; i++ {
@@ -235,15 +275,66 @@ func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
 		// The uplink is the shard's gateway: every cross-shard forward
 		// is of a packet it delivered to the HUB input port, so its
 		// earliest-output bound (delivery + HubSetup) covers them all.
+		// The cross closure resolves the next route hop to the shard it
+		// forwards into, giving the coupling one safe bound per
+		// destination shard (per-channel lookahead).
 		nodeIdx := len(cl.Nodes)
-		up.SetGateway(sim.Duration(cl.Cost.HubSetup), func(out byte) bool {
+		up.SetGateway(sim.Duration(cl.Cost.HubSetup), func(out byte) (int, bool) {
 			s, ok := cl.shardOfHubPort(int(out))
-			return ok && s != cl.nodeShard[nodeIdx]
+			if !ok || s == cl.nodeShard[nodeIdx] {
+				return 0, false
+			}
+			return s, true
 		})
+		// Transmit-preparation floor: every frame this CAB can put on the
+		// uplink goes through datalink.Send, which consumes DatalinkProcess
+		// + DMASetup of CAB CPU time between the event that triggers it
+		// and the fiber transmission (and brackets that compute with
+		// BeginTxPrep/EndTxPrep). So with no preparation in flight, no
+		// frame can start before the domain's activity floor plus that
+		// margin; with one in flight, none can start before the earliest
+		// outstanding ready time. This margin — not the 700 ns HUB setup —
+		// is what grows safe windows enough for sharding to win.
+		margin := sim.Time(cl.Cost.DatalinkProcess + cl.Cost.DMASetup)
+		up.SetTxFloor(func(actFloor sim.Time) sim.Time {
+			e := actFloor + margin
+			if at, ok := c.TxReadyAt(); ok && at < e {
+				e = at
+			}
+			return e
+		})
+		if cl.flowPeers != nil {
+			// Declared channel topology: this gateway only constrains the
+			// safe bound of domains holding one of the node's declared
+			// peers. With a flow-affinity partition that is no domain at
+			// all, and windows stretch to the scheduling horizon.
+			up.SetReach(func(dstDom int) bool {
+				if nodeIdx >= len(cl.flowPeers) {
+					return false
+				}
+				for peer := range cl.flowPeers[nodeIdx] {
+					if peer < len(cl.nodeShard) && cl.nodeShard[peer] == dstDom {
+						return true
+					}
+				}
+				return false
+			})
+		}
 		dom.AddGateway(up)
 	}
 	cl.nodeShard = append(cl.nodeShard, shard)
 	cl.uplinks = append(cl.uplinks, up)
+	if cl.flowPeers != nil {
+		// The declaration is enforced on every frame, sequential or
+		// sharded, so a violating workload fails identically in both
+		// modes instead of silently desynchronizing them.
+		nodeIdx := len(cl.Nodes)
+		up.SetSendGuard(func(out byte) {
+			if dst := cl.nodeAtHubPort(int(out)); dst >= 0 && !cl.trafficAllowed(nodeIdx, dst) {
+				panic(fmt.Sprintf("nectar: node %d sent a frame toward node %d, which Config.Flows does not declare", nodeIdx, dst))
+			}
+		})
+	}
 
 	// Runtime system.
 	mrt := mailbox.NewRuntime(c)
@@ -329,6 +420,71 @@ func (cl *Cluster) shardOf(nodeIdx int) int {
 	return nodeIdx % cl.cfg.Shards
 }
 
+// ShardByFlows builds a topology-aware Config.ShardOf assignment from the
+// traffic pattern: flows lists pairs of node indices (in AddNode order)
+// expected to exchange most of the traffic, and the builder places both
+// endpoints of every flow — transitively, whole connected components of
+// the flow graph — on the same shard, balancing components across shards
+// by node count. Chatty neighbors thus never pay the cross-shard barrier,
+// while independent flows spread out to run in parallel; blind round-robin
+// does the exact opposite (it splits every adjacent pair).
+//
+// The assignment is deterministic: components are considered in ascending
+// order of their smallest node index and go to the least-loaded shard,
+// lowest index first on ties. Nodes in no flow are singleton components.
+func ShardByFlows(nodes, shards int, flows [][2]int) func(nodeIdx int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	// Union-find with union-by-minimum: a component's root is its
+	// smallest member, making component order deterministic.
+	parent := make([]int, nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, f := range flows {
+		a, b := find(f[0]), find(f[1])
+		if a != b {
+			if b < a {
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	size := make([]int, nodes) // per root
+	for i := 0; i < nodes; i++ {
+		size[find(i)]++
+	}
+	assign := make([]int, nodes)
+	load := make([]int, shards)
+	shardOfRoot := make([]int, nodes)
+	for i := range shardOfRoot {
+		shardOfRoot[i] = -1
+	}
+	for i := 0; i < nodes; i++ {
+		r := find(i)
+		if shardOfRoot[r] < 0 {
+			s := 0
+			for j := 1; j < shards; j++ {
+				if load[j] < load[s] {
+					s = j
+				}
+			}
+			shardOfRoot[r] = s
+			load[s] += size[r]
+		}
+		assign[i] = shardOfRoot[r]
+	}
+	return func(nodeIdx int) int { return assign[nodeIdx] }
+}
+
 // shardOfHubPort reports the shard of the node attached at HUB port p
 // (sharded clusters have a single HUB, so the port identifies the node).
 func (cl *Cluster) shardOfHubPort(p int) (int, bool) {
@@ -338,6 +494,29 @@ func (cl *Cluster) shardOfHubPort(p int) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// nodeAtHubPort resolves a HUB output port to the node index attached
+// there (-1 if the port is unoccupied or leads to another HUB).
+func (cl *Cluster) nodeAtHubPort(p int) int {
+	for i, n := range cl.Nodes {
+		if n.port == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// trafficAllowed reports whether the declared traffic matrix permits
+// frames between nodes src and dst (always true when undeclared).
+func (cl *Cluster) trafficAllowed(src, dst int) bool {
+	if cl.flowPeers == nil || src == dst {
+		return true
+	}
+	if src >= len(cl.flowPeers) || cl.flowPeers[src] == nil {
+		return false
+	}
+	return cl.flowPeers[src][dst]
 }
 
 // Shards returns the number of execution shards (1 when sequential).
@@ -415,6 +594,7 @@ func (cl *Cluster) ProfileReport() *prof.Report {
 	if r == nil {
 		return nil
 	}
+	r.VirtualNS = cl.Now().Nanos()
 	for _, k := range cl.Kernels() {
 		r.KernelDispatches += k.Dispatched()
 	}

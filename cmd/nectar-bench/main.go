@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nectar-bench [-stats] [-parallel N] [-shards N] [-benchjson path] [-pdesjson path] [experiment ...]
+//	nectar-bench [-stats] [-parallel N] [-shards N] [-allow-oversubscribed] [-benchjson path] [-pdesjson path] [experiment ...]
 //
 // -stats appends a one-line metrics summary (from the observability
 // registry snapshot) to each experiment that exports one.
@@ -50,6 +50,7 @@ var (
 	benchJSON    = flag.String("benchjson", "BENCH_kernel.json", "output path for the kernel experiment's JSON report")
 	pdesJSON     = flag.String("pdesjson", "BENCH_pdes.json", "output path for the pdes experiment's JSON report")
 	profFlag     = flag.Bool("prof", false, "profile the pdes experiment's sharded run: BENCH_pdes.json gains a `profile` wall-clock breakdown")
+	allowOversub = flag.Bool("allow-oversubscribed", false, "let the pdes experiment run with more shard workers than usable cores (the JSON is then marked oversubscribed and its speedup is not a scheduler verdict)")
 	cpuProfile   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file (samples carry shard/phase labels under -prof)")
 	memProfile   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
 )
@@ -227,6 +228,25 @@ func run(name string, cost *model.CostModel) error {
 			if shards > 4 {
 				shards = 4
 			}
+		}
+		// Clamp the way bench.Pdes will, then refuse to produce a
+		// misleading speedup: with more shard workers than usable cores the
+		// measurement reflects time-sliced goroutines, not parallel
+		// hardware (the trap an early BENCH_pdes.json fell into).
+		effective := shards
+		if effective < 2 {
+			effective = 2
+		}
+		if effective > 8 {
+			effective = 8
+		}
+		usable := runtime.GOMAXPROCS(0)
+		if n := runtime.NumCPU(); n < usable {
+			usable = n
+		}
+		if effective > usable && !*allowOversub {
+			return fmt.Errorf("pdes needs %d shard workers but only %d usable core(s) (GOMAXPROCS=%d, NumCPU=%d); rerun on a bigger machine or pass -allow-oversubscribed to record a time-sliced measurement",
+				effective, usable, runtime.GOMAXPROCS(0), runtime.NumCPU())
 		}
 		r, err := bench.Pdes(cost, shards, *profFlag)
 		if err != nil {

@@ -143,11 +143,14 @@ func TestShardedExperimentsIdentical(t *testing.T) {
 // the wall-clock profiler, which must not perturb virtual time, and must
 // produce an internally consistent breakdown.
 func TestPdesReport(t *testing.T) {
-	seq, err := runPdesFlows(nil, 1, 4, 24, 256, false)
+	// Round-robin partitioning (affinity=false) on purpose: it forces every
+	// flow across the shard boundary, so the profile's cross-shard counters
+	// must be non-zero below.
+	seq, err := runPdesFlows(nil, 1, 4, 24, 256, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shd, err := runPdesFlows(nil, 2, 4, 24, 256, true)
+	shd, err := runPdesFlows(nil, 2, 4, 24, 256, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,5 +180,41 @@ func TestPdesReport(t *testing.T) {
 	}
 	if shd.profile.KernelDispatches == 0 {
 		t.Error("kernel dispatch sampling counter stayed zero")
+	}
+	if shd.profile.VirtualNS <= 0 {
+		t.Error("profile carries no virtual-time span")
+	}
+	if shd.events == 0 || shd.windows == 0 {
+		t.Errorf("sharded run recorded events=%d windows=%d", shd.events, shd.windows)
+	}
+}
+
+// TestPdesAffinity runs the same workload with flow-affinity partitioning:
+// both endpoints of every flow land on one shard, so no simulated frame
+// may cross the coupling, and the output must still be byte-identical to
+// the sequential run.
+func TestPdesAffinity(t *testing.T) {
+	seq, err := runPdesFlows(nil, 1, 4, 24, 256, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, err := runPdesFlows(nil, 2, 4, 24, 256, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.table != shd.table {
+		t.Errorf("pdes tables differ under affinity:\nseq:\n%s\nshd:\n%s", seq.table, shd.table)
+	}
+	if string(seq.metrics) != string(shd.metrics) {
+		t.Error("pdes metrics snapshots differ between sequential and affinity-sharded")
+	}
+	if shd.profile == nil {
+		t.Fatal("profiled sharded run produced no profile")
+	}
+	if shd.profile.CrossShardFrames != 0 {
+		t.Errorf("flow-affinity partitioning still crossed shards: %d frames", shd.profile.CrossShardFrames)
+	}
+	if shd.windows >= seq.events {
+		t.Errorf("affinity run used %d windows for %d events: coalescing is not batching", shd.windows, seq.events)
 	}
 }

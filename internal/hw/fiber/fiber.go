@@ -72,15 +72,21 @@ type Link struct {
 
 	// Gateway role (sharded execution): when this link feeds a HUB input
 	// port whose forwards may cross shard boundaries, it doubles as the
-	// shard's sim.Gateway, bounding the earliest possible cross-shard
-	// output. gwDelay is the HUB setup latency added to every forward;
-	// gwCross decides per packet (by its next route hop) whether the
-	// forward leaves the shard; gwPending holds the start times of
-	// cross-capable deliveries already in flight on this link, in
-	// monotonically non-decreasing order (links serialize).
+	// shard's sim.Gateway / sim.ChannelGateway, bounding the earliest
+	// possible cross-shard output. gwDelay is the HUB setup latency added
+	// to every forward; gwCross resolves a packet's next route hop to the
+	// destination domain it would leave the shard for (cross=false for
+	// local forwards); gwPending holds the cross-capable deliveries
+	// already in flight on this link, in monotonically non-decreasing
+	// start order (links serialize); gwTxFloor, when set, lower-bounds
+	// the start of any *future* transmission on this link given the
+	// owning domain's activity floor (see SetTxFloor).
 	gwDelay   sim.Duration
-	gwCross   func(port byte) bool
-	gwPending []sim.Time
+	gwCross   func(port byte) (dst int, cross bool)
+	gwTxFloor func(actFloor sim.Time) sim.Time
+	gwReach   func(dst int) bool
+	gwGuard   func(port byte)
+	gwPending []gwFrame
 
 	// Fault injection.
 	dropNext    int
@@ -123,6 +129,9 @@ func (l *Link) Send(pkt *Packet) { l.SendAt(pkt, l.k.Now()) }
 // forwarding, where the first byte only becomes available after the setup
 // delay).
 func (l *Link) SendAt(pkt *Packet, t sim.Time) {
+	if l.gwGuard != nil && len(pkt.Route) > 0 {
+		l.gwGuard(pkt.Route[0])
+	}
 	if t < l.k.Now() {
 		t = l.k.Now()
 	}
@@ -165,29 +174,70 @@ func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 	if l.obs.Tracing() {
 		l.obs.InstantArg(0, obs.LayerFiber, "tx", l.name, 0, pkt.WireLen())
 	}
-	if l.gwCross != nil && len(pkt.Route) > 0 && l.gwCross(pkt.Route[0]) {
-		// Cross-capable: its arrival constrains the shard's earliest
-		// output until the delivery fires (deliveries fire in start
-		// order, so popping the front matches this append).
-		l.crossSent++
-		l.gwPending = append(l.gwPending, start)
-		l.k.At(start, func() {
-			l.gwPending = l.gwPending[1:]
-			l.dst.PacketArriving(pkt, end)
-		})
-		return
+	if l.gwCross != nil && len(pkt.Route) > 0 {
+		if dstDom, cross := l.gwCross(pkt.Route[0]); cross {
+			// Cross-capable: its arrival constrains the shard's earliest
+			// output toward dstDom until the delivery fires (deliveries
+			// fire in start order, so popping the front matches this
+			// append).
+			l.crossSent++
+			l.gwPending = append(l.gwPending, gwFrame{start: start, dst: int32(dstDom)})
+			l.k.At(start, func() {
+				l.gwPending = l.gwPending[1:]
+				l.dst.PacketArriving(pkt, end)
+			})
+			return
+		}
 	}
 	l.k.At(start, func() { l.dst.PacketArriving(pkt, end) })
 }
 
+// gwFrame is one cross-capable delivery in flight on a gateway link: when
+// its transmission started and which domain its next route hop forwards
+// into.
+type gwFrame struct {
+	start sim.Time
+	dst   int32
+}
+
 // SetGateway marks the link as a shard-boundary gateway: forwards of
 // packets arriving at its destination HUB port incur delay (the HUB setup
-// latency), and cross reports whether a packet whose next route hop is
-// port will leave the shard. The link then implements sim.Gateway.
-func (l *Link) SetGateway(delay sim.Duration, cross func(port byte) bool) {
+// latency), and cross resolves a packet's next route hop to the domain it
+// would leave the shard for (cross=false when the forward stays local).
+// The link then implements sim.Gateway and sim.ChannelGateway.
+func (l *Link) SetGateway(delay sim.Duration, cross func(port byte) (dst int, crossShard bool)) {
 	l.gwDelay = delay
 	l.gwCross = cross
 }
+
+// SetTxFloor installs a lower bound on the start time of any future
+// transmission on this link, as a function of the owning domain's activity
+// floor (the earliest instant any event can execute in the domain's
+// current window). The sharded cluster wires it to the sending CAB's
+// transmit-preparation state: a frame send always consumes datalink
+// processing plus DMA setup CPU time between the event that triggers it
+// and the fiber transmission, so an idle CAB cannot start a frame before
+// actFloor plus that margin, and a CAB already preparing a frame cannot
+// start one before the preparation completes. Pass nil to clear (the
+// bound degrades to actFloor itself).
+func (l *Link) SetTxFloor(fn func(actFloor sim.Time) sim.Time) { l.gwTxFloor = fn }
+
+// SetReach installs the link's declared channel topology: reach(dst)
+// reports whether any frame this link can ever carry may be forwarded
+// into domain dst. Wired by clusters whose Config declares the complete
+// traffic matrix (Config.Flows); destinations outside the declared reach
+// then return an unbounded EarliestOutputTo, which is what lets a
+// well-partitioned cluster run whole horizons per window. Pass nil to
+// clear (every destination reachable — the conservative default).
+func (l *Link) SetReach(fn func(dst int) bool) { l.gwReach = fn }
+
+// SetSendGuard installs a check run on every frame presented for
+// transmission with a route (before fault injection). Clusters with a
+// declared traffic matrix use it to panic deterministically on a frame
+// to an undeclared destination — the declaration is a contract, and a
+// silent violation would make the sharded bounds unsound. Pass nil to
+// clear.
+func (l *Link) SetSendGuard(fn func(port byte)) { l.gwGuard = fn }
 
 // EarliestOutput implements sim.Gateway: a lower bound on the timestamp of
 // any future cross-shard forward fed by this link, given the owning
@@ -204,8 +254,51 @@ func (l *Link) EarliestOutput(net sim.Time) sim.Time {
 			e = l.freeAt
 		}
 	}
-	if len(l.gwPending) > 0 && l.gwPending[0] < e {
-		e = l.gwPending[0]
+	if len(l.gwPending) > 0 && l.gwPending[0].start < e {
+		e = l.gwPending[0].start
+	}
+	if e >= sim.MaxTime {
+		return sim.MaxTime
+	}
+	return e + sim.Time(l.gwDelay)
+}
+
+// EarliestOutputTo implements sim.ChannelGateway: a lower bound on the
+// timestamp of any future forward from this link into domain dst,
+// given actFloor — a lower bound on the earliest instant the owning
+// domain can execute any event. It sharpens EarliestOutput twice over:
+// in-flight deliveries destined to *other* domains no longer cap the
+// bound for dst, and future sends are pushed past the transmit floor
+// (the CPU time every frame send provably consumes before reaching the
+// fiber). Zero-allocation: called per (gateway, destination) pair in
+// every window choose phase.
+//
+//nectar:hotpath
+func (l *Link) EarliestOutputTo(dst int, actFloor sim.Time) sim.Time {
+	if l.gwReach != nil && !l.gwReach(dst) {
+		// Declared channel topology: no frame this link carries can ever
+		// be forwarded into dst, so this gateway does not constrain it.
+		return sim.MaxTime
+	}
+	e := sim.MaxTime
+	if actFloor < sim.MaxTime {
+		e = actFloor
+		if l.gwTxFloor != nil {
+			e = l.gwTxFloor(actFloor)
+		}
+		if l.freeAt > e {
+			e = l.freeAt
+		}
+	}
+	// In-flight deliveries serialize, so starts are non-decreasing and
+	// the first entry destined to dst is the earliest.
+	for i := range l.gwPending {
+		if int(l.gwPending[i].dst) == dst {
+			if l.gwPending[i].start < e {
+				e = l.gwPending[i].start
+			}
+			break
+		}
 	}
 	if e >= sim.MaxTime {
 		return sim.MaxTime

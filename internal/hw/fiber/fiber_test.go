@@ -71,6 +71,38 @@ func TestBusyAndFreeAt(t *testing.T) {
 	}
 }
 
+// TestEarliestOutputZeroAlloc pins the hot-path contract of the safe-bound
+// computation: the per-window choose phase calls EarliestOutputTo once per
+// (gateway, destination) pair per fixpoint pass, so a single allocation
+// there multiplies into the scheduler's critical path.
+func TestEarliestOutputZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	s := &sink{k: k}
+	l := NewLink(k, model.Default1990(), "gw", s)
+	l.SetGateway(700, func(port byte) (int, bool) { return int(port) % 2, port%2 == 1 })
+	l.SetTxFloor(func(actFloor sim.Time) sim.Time { return actFloor + 12000 })
+	// Populate gwPending so the destination scan runs.
+	k.After(0, func() {
+		for i := 0; i < 4; i++ {
+			l.Send(&Packet{Route: []byte{byte(i)}, Frame: make([]byte, 64)})
+		}
+		var sum sim.Time
+		if avg := testing.AllocsPerRun(100, func() {
+			sum += l.EarliestOutputTo(1, k.Now())
+			sum += l.EarliestOutputTo(0, sim.MaxTime)
+			sum += l.EarliestOutput(k.Now())
+		}); avg != 0 {
+			k.Fatalf("safe-bound computation allocates: %.1f allocs/run", avg)
+		}
+		if sum == 0 {
+			k.Fatalf("bound computation returned zero")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNilDestinationPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

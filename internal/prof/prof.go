@@ -535,6 +535,12 @@ type Report struct {
 	LookaheadUS     HistStats `json:"lookahead_us"`
 	EventsPerWindow HistStats `json:"events_per_window"`
 
+	// VirtualNS is the virtual time the profiled runs covered, filled by
+	// the embedder; it turns the window count into a rate (windows per
+	// virtual millisecond) that is comparable across machines — the
+	// at-a-glance lookahead-regression signal.
+	VirtualNS int64 `json:"virtual_ns,omitempty"`
+
 	// Sampling counters filled by the embedder (internal/bench): total
 	// kernel dispatches across shard kernels and wire-path traffic.
 	KernelDispatches uint64 `json:"kernel_dispatches,omitempty"`
@@ -799,6 +805,17 @@ func (r *Report) FormatHistograms() string {
 	line("window span", "us virtual", r.WindowSpanUS)
 	line("gateway lookahead", "us virtual", r.LookaheadUS)
 	line("events/window", "events", r.EventsPerWindow)
+	if r.Windows > 0 {
+		mean := 0.0
+		if r.EventsPerWindow.Count > 0 {
+			mean = r.EventsPerWindow.Sum / float64(r.EventsPerWindow.Count)
+		}
+		fmt.Fprintf(&b, "  batching: %.1f events/window mean", mean)
+		if r.VirtualNS > 0 {
+			fmt.Fprintf(&b, ", %.1f windows/virtual-ms", float64(r.Windows)/(float64(r.VirtualNS)/1e6))
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }
 

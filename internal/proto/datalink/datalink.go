@@ -24,6 +24,7 @@ import (
 	"nectar/internal/rt/exec"
 	"nectar/internal/rt/mailbox"
 	"nectar/internal/rt/threads"
+	"nectar/internal/sim"
 )
 
 // Protocol is a transport bound to a datalink frame type.
@@ -110,7 +111,14 @@ func (l *Layer) Register(typ uint8, p Protocol) { l.protos[typ] = p }
 // buffer, data from another). Callable from CAB threads and interrupt
 // handlers.
 func (l *Layer) Send(ctx exec.Context, typ uint8, dst wire.NodeID, payload ...[]byte) error {
-	ctx.Compute(l.cost.DatalinkProcess + l.cost.DMASetup)
+	// Transmit-preparation bracket: every transmit path goes through this
+	// function and consumes the datalink+DMA compute below before the
+	// frame can reach the fiber, which is what lets a shard gateway bound
+	// the board's earliest future transmission (see CAB.BeginTxPrep).
+	prep := l.cost.DatalinkProcess + l.cost.DMASetup
+	l.cab.BeginTxPrep(l.cab.Kernel().Now() + sim.Time(prep))
+	defer l.cab.EndTxPrep()
+	ctx.Compute(prep)
 	l.cab.Kernel().Mark(l.markTx)
 	if l.obs.Tracing() {
 		n := 0

@@ -18,6 +18,27 @@
 // deterministic (source domain index, emission order) order, before the next
 // window is chosen.
 //
+// When every gateway implements ChannelGateway the scheduler sharpens this
+// to one bound per destination domain. It first computes activity floors
+// act(d) — a lower bound on when *any* event can execute in d — as the
+// fixpoint of
+//
+//	act(d) = min(NET(d), min over d' != d, gateways g of d' of g.EarliestOutputTo(d, act(d')))
+//
+// (Bellman-Ford over the domain graph; raw NETs alone would be unsound,
+// because a domain that ran far ahead can be pulled back by an incoming
+// message and then emit into another domain's past — the fixpoint accounts
+// for such transitive wake-up chains). The per-destination bound is then
+//
+//	B(A) = min over domains d != A, gateways g of d of g.EarliestOutputTo(A, act(d))
+//
+// and domain A executes events strictly below B(A). Safety is per channel:
+// any message arriving at A is emitted by some other domain's gateway g at
+// or after g.EarliestOutputTo(A, act(owner)) >= B(A). Excluding A's own
+// gateways means a domain never throttles itself on its own potential
+// emissions, which is what lets windows coalesce far past the single
+// global bound.
+//
 // Progress is guaranteed whenever every gateway has strictly positive
 // lookahead (EarliestOutput(net) > net): then B > min NET and at least one
 // domain executes at least one event per window. A zero-lookahead gateway
@@ -59,6 +80,26 @@ const MaxTime Time = math.MaxInt64 / 4
 // concurrently with domain execution.
 type Gateway interface {
 	EarliestOutput(net Time) Time
+}
+
+// ChannelGateway is a Gateway that can additionally bound its earliest
+// output per destination domain. EarliestOutputTo returns a lower bound on
+// the timestamp of any future inter-domain message this gateway can emit
+// *into domain dst*, given actFloor — a lower bound on the earliest
+// instant any event can execute in the gateway's owning domain (its next
+// event time; MaxTime when idle). Implementations typically sharpen the
+// global bound two ways: traffic already committed to other destinations
+// does not cap the bound for dst, and hypothetical future emissions can
+// carry a preparation margin (CPU time provably consumed between the
+// triggering event and the emission).
+//
+// When every gateway of every domain implements ChannelGateway, the
+// coupling scheduler computes one safe bound per destination domain
+// instead of a single global bound, so a domain no longer throttles
+// itself on its own potential emissions and windows coalesce.
+type ChannelGateway interface {
+	Gateway
+	EarliestOutputTo(dst int, actFloor Time) Time
 }
 
 // pendingInj is one buffered inter-domain message. bytes carries the
@@ -228,6 +269,15 @@ type Coupling struct {
 	sp      parker // scheduler's park/wake point (workers signal done)
 	spin    int    // barrier poll budget before parking (set per run)
 
+	// Per-destination safe bounds (the per-channel scheduler). bounds[i]
+	// is domain i's window bound for the current round; chans[i] caches
+	// domain i's gateways down-asserted to ChannelGateway. Both are
+	// (re)built at run start; chans is nil when any gateway lacks
+	// per-channel support, selecting the legacy single-bound path.
+	bounds []Time
+	acts   []Time
+	chans  [][]ChannelGateway
+
 	// pr is the attached wall-clock profile, nil unless profiling was
 	// requested. Every collector call below is nil-receiver tolerant, so
 	// the disabled scheduler pays one nil check per phase and the worker
@@ -316,6 +366,34 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 		for len(d.out) < len(c.domains) {
 			d.out = append(d.out, nil)
 		}
+	}
+	// Per-channel mode: available only when every gateway can bound its
+	// output per destination. The assertion results are cached so the
+	// choose loop below stays free of interface type switches (and of
+	// allocations — see the AllocsPerRun guard in pdes_alloc_test.go).
+	if len(c.bounds) != len(c.domains) {
+		c.bounds = make([]Time, len(c.domains))
+		c.acts = make([]Time, len(c.domains))
+	}
+	c.chans = c.chans[:0]
+	perChan := true
+	for _, d := range c.domains {
+		var cgs []ChannelGateway
+		for _, g := range d.gateways {
+			cg, ok := g.(ChannelGateway)
+			if !ok {
+				perChan = false
+				break
+			}
+			cgs = append(cgs, cg)
+		}
+		if !perChan {
+			break
+		}
+		c.chans = append(c.chans, cgs)
+	}
+	if !perChan {
+		c.chans = nil
 	}
 	// One worker goroutine per domain for the duration of this run. The
 	// winSeq/doneSeq atomics give the barrier its happens-before edges:
@@ -462,44 +540,140 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 			}
 			return nil
 		}
-		// Safe bound: min over gateways of earliest inter-domain output.
-		b := MaxTime
-		for _, d := range c.domains {
-			net := MaxTime
-			if at, ok := d.k.NextEventAt(); ok {
-				net = at
-			}
-			for _, g := range d.gateways {
-				e := g.EarliestOutput(net)
-				if c.pr != nil && net < MaxTime && e < MaxTime {
-					c.pr.Lookahead(int64(e - net))
+		// Safe bounds. Per-channel mode computes one bound per destination
+		// domain: bounds[dst] = min over *other* domains' gateways of
+		// their earliest output into dst. Excluding dst's own gateways is
+		// what lets a shard run ahead of its own potential emissions —
+		// with a single global bound, any busy domain with an idle uplink
+		// pins every window at net+lookahead. Legacy mode keeps the global
+		// bound (bounds[i] identical for all i).
+		var bMin Time
+		if perChan {
+			// Activity floors: act[d] lower-bounds when *any* event can
+			// execute in d — not just d's pending events, but also events
+			// created by messages other domains may yet send it. A domain
+			// far ahead of the pack can be pulled back by an injection
+			// (its NET is not monotone across rounds!), so using raw NETs
+			// as emission floors is unsound: A could be woken by B and
+			// then emit into B's past. The fixpoint below (Bellman-Ford
+			// over the domain graph; every hop adds at least the gateway
+			// delay, so it converges in at most len(domains) passes)
+			// accounts for those transitive wake-up chains.
+			for _, d := range c.domains {
+				c.acts[d.id] = MaxTime
+				if at, ok := d.k.NextEventAt(); ok {
+					c.acts[d.id] = at
 				}
-				if e < b {
-					b = e
+			}
+			for changed := true; changed; {
+				changed = false
+				for _, d := range c.domains {
+					for _, g := range c.chans[d.id] {
+						for _, dst := range c.domains {
+							if dst == d {
+								continue
+							}
+							if e := g.EarliestOutputTo(dst.id, c.acts[d.id]); e < c.acts[dst.id] {
+								c.acts[dst.id] = e
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			// Per-destination bounds from the converged floors: bounds[A]
+			// = min over other domains' gateways of their earliest output
+			// into A.
+			for i := range c.bounds {
+				c.bounds[i] = MaxTime
+			}
+			for _, d := range c.domains {
+				act := c.acts[d.id]
+				for _, g := range c.chans[d.id] {
+					emin := MaxTime
+					for _, dst := range c.domains {
+						if dst == d {
+							continue
+						}
+						e := g.EarliestOutputTo(dst.id, act)
+						if e < c.bounds[dst.id] {
+							c.bounds[dst.id] = e
+						}
+						if e < emin {
+							emin = e
+						}
+					}
+					if c.pr != nil && act < MaxTime && emin < MaxTime {
+						c.pr.Lookahead(int64(emin - act))
+					}
+				}
+			}
+			bMin = MaxTime
+			for _, b := range c.bounds {
+				if b < bMin {
+					bMin = b
+				}
+			}
+		} else {
+			b := MaxTime
+			for _, d := range c.domains {
+				net := MaxTime
+				if at, ok := d.k.NextEventAt(); ok {
+					net = at
+				}
+				for _, g := range d.gateways {
+					e := g.EarliestOutput(net)
+					if c.pr != nil && net < MaxTime && e < MaxTime {
+						c.pr.Lookahead(int64(e - net))
+					}
+					if e < b {
+						b = e
+					}
+				}
+			}
+			if b <= minNET {
+				c.pr.ChooseAbort(ts)
+				return fmt.Errorf("sim: coupling stalled at %v: safe bound %v <= next event %v (a gateway has zero lookahead)",
+					c.Now(), b, minNET)
+			}
+			for i := range c.bounds {
+				c.bounds[i] = b
+			}
+			bMin = b
+		}
+		span := int64(0) // virtual window width before horizon clamp
+		if bMin > minNET {
+			span = int64(bMin - minNET)
+		}
+		if !drain {
+			for i := range c.bounds {
+				if c.bounds[i] > horizon+1 {
+					c.bounds[i] = horizon + 1 // runBounded is exclusive: executes events <= horizon
 				}
 			}
 		}
-		if b <= minNET {
-			c.pr.ChooseAbort(ts)
-			return fmt.Errorf("sim: coupling stalled at %v: safe bound %v <= next event %v (a gateway has zero lookahead)",
-				c.Now(), b, minNET)
-		}
-		span := int64(b - minNET) // virtual window width before horizon clamp
-		if !drain && b > horizon+1 {
-			b = horizon + 1 // runBounded is exclusive: executes events <= horizon
-		}
-		// Parallel window: every domain with events in [now, b) executes
-		// them; idle domains are skipped (their clocks advance lazily). A
-		// window with a single active domain runs inline on the scheduler
-		// goroutine — its kernel's state is synchronized by the previous
-		// barrier, and the next winSeq store republishes it to the worker.
+		// Parallel window: every domain with events below its bound
+		// executes them; idle domains are skipped (their clocks advance
+		// lazily). A window with a single active domain runs inline on the
+		// scheduler goroutine — its kernel's state is synchronized by the
+		// previous barrier, and the next winSeq store republishes it to
+		// the worker.
 		c.windows++
 		seq := c.windows
 		active = active[:0]
 		for _, d := range c.domains {
-			if at, ok := d.k.NextEventAt(); ok && at < b {
+			if at, ok := d.k.NextEventAt(); ok && at < c.bounds[d.id] {
 				active = append(active, d)
 			}
+		}
+		if len(active) == 0 {
+			// Per-channel bounds guarantee progress whenever gateways have
+			// positive lookahead toward the minNET owner; an empty active
+			// set means some gateway reported a bound at or below a
+			// pending event, i.e. zero lookahead.
+			c.pr.ChooseAbort(ts)
+			return fmt.Errorf("sim: coupling stalled at %v: no domain below its safe bound (min bound %v, next event %v)",
+				c.Now(), bMin, minNET)
 		}
 		ts = c.pr.Choose(ts, span, len(active))
 		var firstErr error
@@ -510,7 +684,7 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 				ev0 = d.k.steps
 				pprof.SetGoroutineLabels(schedInline[d.id])
 			}
-			firstErr = d.k.runBounded(b)
+			firstErr = d.k.runBounded(c.bounds[d.id])
 			if c.pr != nil {
 				pprof.SetGoroutineLabels(schedBase)
 				ts = c.pr.Inline(ts, d.id, d.k.steps-ev0)
@@ -526,7 +700,7 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 				pprof.SetGoroutineLabels(schedBarrier)
 			}
 			for _, d := range active {
-				d.winB.Store(int64(b))
+				d.winB.Store(int64(c.bounds[d.id]))
 				d.winSeq.Store(seq)
 				d.wp.wakeIf()
 			}
@@ -550,8 +724,13 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 			return firstErr
 		}
 		// Barrier: drain outboxes in deterministic order (source domain
-		// index, then emission order). Every buffered timestamp is >= b >
-		// every destination clock, so At never schedules into the past.
+		// index, then emission order). Every buffered timestamp is >= the
+		// destination's bound for this window > every event its kernel
+		// executed, so injection never schedules into the past. Each
+		// (src, dst) batch is injected in one kernel call: sequence
+		// numbers are assigned in drain order, and heap pop order depends
+		// only on the (time, seq) keys, so batching cannot perturb the
+		// merged event order.
 		if c.pr != nil {
 			pprof.SetGoroutineLabels(schedDrain)
 		}
@@ -562,11 +741,7 @@ func (c *Coupling) run(horizon Time, drain bool) error {
 					continue
 				}
 				dst := c.domains[dstID]
-				var bytes uint64
-				for _, inj := range injs {
-					dst.k.At(inj.at, inj.fn)
-					bytes += uint64(inj.bytes)
-				}
+				bytes := dst.k.injectBatch(injs)
 				c.pr.DrainOut(src.id, uint64(len(injs)), bytes)
 				src.out[dstID] = injs[:0]
 			}

@@ -276,6 +276,33 @@ func (k *Kernel) freeSlot(slot int32) {
 	k.free = append(k.free, slot)
 }
 
+// injectBatch schedules a window's buffered cross-domain injections in a
+// single call (the coupling's barrier drain). Heap and arena capacity are
+// reserved up front so the per-injection schedule calls never reallocate
+// mid-batch; sequence numbers are assigned here in batch order, and heap
+// pop order depends only on the (time, seq) keys, so batching is
+// indistinguishable from individual At calls in the same order. Returns
+// the summed wire bytes for the profiler's drain accounting.
+func (k *Kernel) injectBatch(injs []pendingInj) uint64 {
+	n := len(injs)
+	if cap(k.heap)-len(k.heap) < n {
+		grown := make([]heapEntry, len(k.heap), len(k.heap)+n+len(k.heap)/2)
+		copy(grown, k.heap)
+		k.heap = grown
+	}
+	if spare := len(k.free) + (cap(k.arena) - len(k.arena)); spare < n {
+		grown := make([]event, len(k.arena), len(k.arena)+n+len(k.arena)/2)
+		copy(grown, k.arena)
+		k.arena = grown
+	}
+	var bytes uint64
+	for i := range injs {
+		k.schedule(injs[i].at, injs[i].fn)
+		bytes += uint64(injs[i].bytes)
+	}
+	return bytes
+}
+
 // At schedules fn to run at absolute virtual time at. fn runs in kernel
 // context and must not block.
 //

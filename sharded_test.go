@@ -3,6 +3,7 @@ package nectar
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"nectar/internal/obs"
@@ -21,16 +22,46 @@ type shardedWorkloadResult struct {
 	metrics []byte
 }
 
+// shardedOpts varies the execution shape of runShardedWorkload without
+// touching the simulated workload: none of these may change the output.
+type shardedOpts struct {
+	// shardOf overrides the round-robin node-to-shard assignment.
+	shardOf func(nodeIdx int) int
+	// chunk is the RunFor granularity (default 10ms). The coupling must
+	// produce identical output whatever horizon the driver advances by.
+	chunk sim.Duration
+	// declare passes the workload's flow list as Config.Flows, enabling
+	// reach-based bound exclusion (and traffic enforcement).
+	declare bool
+}
+
 // runShardedWorkload drives a 4-node cluster — two cross-shard RMP flows
 // (0->1 and 2->3) under deterministic fault injection (drops + corruption
 // on every uplink, pattern varied by seed) — with a trace recorder and
 // wire capture per shard kernel, and returns the canonicalized output.
 // shards=1 runs the identical workload sequentially on one kernel.
-func runShardedWorkload(t *testing.T, shards int, seed uint64) shardedWorkloadResult {
+func runShardedWorkload(t *testing.T, shards int, seed uint64, opts ...shardedOpts) shardedWorkloadResult {
 	t.Helper()
+	var opt shardedOpts
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	if opt.chunk == 0 {
+		opt.chunk = 10 * sim.Millisecond
+	}
+	// Flows: 0 -> 1 and 2 -> 3. With round-robin shard assignment both
+	// flows cross the shard boundary in both directions (data and acks).
+	flows := [][2]int{{0, 1}, {2, 3}}
+
 	var cfg *Config
 	if shards > 1 {
-		cfg = &Config{Shards: shards}
+		cfg = &Config{Shards: shards, ShardOf: opt.shardOf}
+	}
+	if opt.declare {
+		if cfg == nil {
+			cfg = &Config{}
+		}
+		cfg.Flows = flows
 	}
 	cl := NewCluster(cfg)
 
@@ -62,9 +93,6 @@ func runShardedWorkload(t *testing.T, shards int, seed uint64) shardedWorkloadRe
 		})
 	}
 
-	// Flows: 0 -> 1 and 2 -> 3. With round-robin shard assignment both
-	// flows cross the shard boundary in both directions (data and acks).
-	flows := [][2]int{{0, 1}, {2, 3}}
 	done := make([]bool, len(flows))
 	for fi, f := range flows {
 		fi, src, dst := fi, nodes[f[0]], nodes[f[1]]
@@ -103,7 +131,7 @@ func runShardedWorkload(t *testing.T, shards int, seed uint64) shardedWorkloadRe
 		return true
 	}
 	for !allDone() {
-		if err := cl.RunFor(10 * sim.Millisecond); err != nil {
+		if err := cl.RunFor(opt.chunk); err != nil {
 			t.Fatal(err)
 		}
 		if cl.Now() > sim.Time(60*sim.Second) {
@@ -190,6 +218,178 @@ func TestShardedFourWay(t *testing.T) {
 	}
 	if !bytes.Equal(shd.metrics, seq.metrics) {
 		t.Error("4-shard metrics snapshot differs from sequential")
+	}
+}
+
+// TestShardedArbitraryPartitions is the partitioning property test: for
+// ANY node-to-shard assignment — pathological ones included — and any
+// fault seed, the sharded run must stay byte-identical to the sequential
+// one. Correctness may never depend on how the user partitions.
+func TestShardedArbitraryPartitions(t *testing.T) {
+	partitions := []struct {
+		name    string
+		shards  int
+		shardOf func(nodeIdx int) int
+	}{
+		// Everything on shard 0 except the last node: one shard nearly
+		// idle, maximally asymmetric load.
+		{"lopsided", 2, func(i int) int {
+			if i == 3 {
+				return 1
+			}
+			return 0
+		}},
+		// Alternating: both flows (0->1, 2->3) split across the boundary,
+		// like round-robin but with the opposite pairing.
+		{"alternating", 2, func(i int) int { return i % 2 }},
+		// Flow affinity: each flow's endpoints co-located, so no simulated
+		// frame crosses the coupling at all.
+		{"affinity", 2, ShardByFlows(4, 2, [][2]int{{0, 1}, {2, 3}})},
+		// Three shards for four nodes: unequal shard populations.
+		{"uneven3", 3, func(i int) int { return i % 3 }},
+	}
+	for _, p := range partitions {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 12345, 987654321} {
+				seq := runShardedWorkload(t, 1, seed)
+				shd := runShardedWorkload(t, p.shards, seed, shardedOpts{shardOf: p.shardOf})
+				if shd.trace != seq.trace {
+					t.Errorf("seed=%d: trace differs from sequential; first divergence:\nseq: %s\nshd: %s",
+						seed, firstDiffLine(seq.trace, shd.trace), firstDiffLine(shd.trace, seq.trace))
+				}
+				if shd.capture != seq.capture {
+					t.Errorf("seed=%d: capture differs from sequential", seed)
+				}
+				if !bytes.Equal(shd.metrics, seq.metrics) {
+					t.Errorf("seed=%d: metrics snapshot differs from sequential", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedChunkInvariance varies the RunFor horizon: window coalescing
+// clamps bounds to the driver's horizon, so the schedule of safe windows
+// differs radically between chunk sizes, but at every chunk size the
+// sharded run must match the sequential run driven with the same chunk.
+// (Different chunks legitimately produce different output — the driver
+// loop only observes completion at chunk boundaries, so a bigger chunk
+// simulates further past the last delivery — which is why the comparison
+// is seq-vs-shd per chunk, not across chunks.)
+func TestShardedChunkInvariance(t *testing.T) {
+	const seed = 12345
+	for _, chunk := range []sim.Duration{sim.Millisecond, 3 * sim.Millisecond, 40 * sim.Millisecond} {
+		seq := runShardedWorkload(t, 1, seed, shardedOpts{chunk: chunk})
+		shd := runShardedWorkload(t, 2, seed, shardedOpts{chunk: chunk})
+		if shd.trace != seq.trace {
+			t.Errorf("chunk=%v: trace differs; first divergence:\nseq: %s\nshd: %s",
+				chunk, firstDiffLine(seq.trace, shd.trace), firstDiffLine(shd.trace, seq.trace))
+		}
+		if shd.capture != seq.capture {
+			t.Errorf("chunk=%v: capture differs", chunk)
+		}
+		if !bytes.Equal(shd.metrics, seq.metrics) {
+			t.Errorf("chunk=%v: metrics snapshot differs", chunk)
+		}
+	}
+}
+
+// TestShardedDeclaredFlows is the coalescing property test: with the
+// communication graph declared (Config.Flows) and flow-affinity
+// partitioning, no gateway can ever emit toward the other shard, so every
+// safe window spans the whole RunFor horizon. That maximally-coalesced
+// schedule must still be byte-identical to the sequential run — with the
+// SAME declaration, so the enforcement guard is active in both — across
+// fault seeds and for a cross-shard partition too (where declaration
+// tightens but does not eliminate the bounds).
+func TestShardedDeclaredFlows(t *testing.T) {
+	partitions := []struct {
+		name    string
+		shardOf func(nodeIdx int) int
+	}{
+		{"affinity", ShardByFlows(4, 2, [][2]int{{0, 1}, {2, 3}})},
+		{"alternating", func(i int) int { return i % 2 }},
+	}
+	for _, p := range partitions {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 12345, 987654321} {
+				seq := runShardedWorkload(t, 1, seed, shardedOpts{declare: true})
+				shd := runShardedWorkload(t, 2, seed, shardedOpts{declare: true, shardOf: p.shardOf})
+				if shd.trace != seq.trace {
+					t.Errorf("seed=%d: trace differs from sequential; first divergence:\nseq: %s\nshd: %s",
+						seed, firstDiffLine(seq.trace, shd.trace), firstDiffLine(shd.trace, seq.trace))
+				}
+				if shd.capture != seq.capture {
+					t.Errorf("seed=%d: capture differs from sequential", seed)
+				}
+				if !bytes.Equal(shd.metrics, seq.metrics) {
+					t.Errorf("seed=%d: metrics snapshot differs from sequential", seed)
+				}
+			}
+		})
+	}
+	// Declaring must also not perturb output relative to NOT declaring:
+	// the declaration only changes scheduling bounds, never the workload.
+	plain := runShardedWorkload(t, 1, 12345)
+	declared := runShardedWorkload(t, 1, 12345, shardedOpts{declare: true})
+	if plain.trace != declared.trace {
+		t.Error("declaring flows changed the sequential trace")
+	}
+}
+
+// TestDeclaredFlowViolationPanics pins the enforcement contract: traffic
+// between nodes not declared in Config.Flows fails deterministically —
+// the uplink guard panics when the first frame is emitted, which the
+// proc runtime converts into a kernel-fatal error returned by RunFor.
+// Enforced in sequential mode too, so a bad declaration can never
+// silently desync a sharded run.
+func TestDeclaredFlowViolationPanics(t *testing.T) {
+	cl := NewCluster(&Config{Flows: [][2]int{{0, 1}}})
+	nodes := []*Node{cl.AddNode(), cl.AddNode(), cl.AddNode()}
+	sink := nodes[2].Mailboxes.Create("undeclared.sink")
+	addr := wire.MailboxAddr{Node: nodes[2].ID, Box: sink.ID()}
+	nodes[0].CAB.Sched.Fork("violate", threads.SystemPriority, func(th *threads.Thread) {
+		// 0 -> 2 is not declared: the send guard fires when the first
+		// frame hits the uplink.
+		nodes[0].Transports.RMP.SendBlocking(exec.OnCAB(th), addr, 0, []byte("x"))
+	})
+	err := cl.RunFor(sim.Second)
+	if err == nil {
+		t.Fatal("undeclared 0->2 traffic did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "Config.Flows does not declare") {
+		t.Errorf("wrong failure: %v", err)
+	}
+}
+// flow-co-locating, load-balanced.
+func TestShardByFlows(t *testing.T) {
+	flows := [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	f := ShardByFlows(8, 2, flows)
+	for _, fl := range flows {
+		if f(fl[0]) != f(fl[1]) {
+			t.Errorf("flow %v split across shards %d/%d", fl, f(fl[0]), f(fl[1]))
+		}
+	}
+	counts := map[int]int{}
+	for i := 0; i < 8; i++ {
+		s := f(i)
+		if s < 0 || s >= 2 {
+			t.Fatalf("ShardOf(%d) = %d out of range", i, s)
+		}
+		counts[s]++
+	}
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Errorf("unbalanced assignment: %v", counts)
+	}
+	// Chained flows merge into one component.
+	g := ShardByFlows(4, 2, [][2]int{{0, 1}, {1, 2}})
+	if g(0) != g(1) || g(1) != g(2) {
+		t.Errorf("chained flows not co-located: %d %d %d", g(0), g(1), g(2))
+	}
+	if g(3) == g(0) {
+		t.Errorf("isolated node 3 not balanced onto the other shard")
 	}
 }
 
