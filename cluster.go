@@ -25,7 +25,9 @@ package nectar
 
 import (
 	"fmt"
+	"sort"
 
+	"nectar/internal/fabric"
 	"nectar/internal/hw/cab"
 	"nectar/internal/hw/fiber"
 	"nectar/internal/hw/host"
@@ -77,8 +79,26 @@ type Config struct {
 	// RxThreadMode selects the §3.1 ablation: protocol input processing
 	// in a high-priority thread instead of at interrupt time.
 	RxThreadMode bool
-	// HubPorts is the crossbar size (default hub.DefaultPorts).
+	// HubPorts is the crossbar size (default hub.DefaultPorts). Ignored
+	// when Topology is set (the fabric defines per-HUB port counts).
 	HubPorts int
+
+	// Topology, when non-nil, builds the whole HUB fabric from data: the
+	// cluster creates every crossbar and trunk fiber of the fabric up
+	// front and registers each attachment point as a *compact* node — a
+	// few bytes of arena state (hub, port, shard) instead of a booted
+	// protocol stack. Node(i) materializes the full host/CAB pair at
+	// attachment point i on first use, so a 100k-node fabric fits in
+	// memory and only the nodes that actually carry traffic (declared by
+	// Flows, typically) pay for stacks. Hand-wiring (AddHub, ConnectHubs,
+	// AddNode) is unavailable on fabric clusters, and sharded execution
+	// over multiple HUBs is available only through a Topology (trunk
+	// ownership needs the whole fabric up front).
+	Topology *fabric.Topology
+	// CABDataBytes overrides each CAB's packet-memory size (0: the
+	// default 1 MB). Scale experiments shrink it so tens of thousands of
+	// materialized nodes fit in host memory.
+	CABDataBytes int
 
 	// Shards > 1 opts in to sharded execution: nodes are partitioned
 	// into per-shard simulation kernels that run concurrently on OS
@@ -124,11 +144,28 @@ type Cluster struct {
 	hubLinks []hubLink
 	nextPort []int // per hub
 
+	// Shared deduplicated route table: every CAB route entry is a
+	// reference into it (one string per (srcHub, dstHub, dstPort)
+	// triple), built lazily over the topology's closed-form router or a
+	// BFS over hand-wired hub links.
+	routeTab *fabric.RouteTable
+
+	// Fabric state (Config.Topology; nil/empty otherwise). mat holds the
+	// materialized node at each attachment point (nil = compact); trunks
+	// holds the directed inter-HUB links in fabric.Trunks order.
+	topo       *fabric.Topology
+	mat        []*Node
+	trunks     []*fiber.Link
+	trunkOwner []int32 // directed trunk -> owning shard (sharded fabrics)
+
 	// Sharded execution state (nil/empty when sequential).
 	coupling  *sim.Coupling
 	domains   []*sim.Domain // one per shard
-	nodeShard []int         // node index -> shard
-	uplinks   []*fiber.Link // node index -> its CAB->HUB link (the shard gateway)
+	nodeShard []int32       // node index -> shard (arena; all attachment points on fabrics)
+	uplinks   []*fiber.Link // node index -> its CAB->HUB link (the shard gateway); nil = compact
+
+	// Materialized wire IDs back to node indices (send-guard resolution).
+	idToIdx map[wire.NodeID]int32
 
 	// Declared traffic matrix (Config.Flows): node index -> set of peer
 	// node indices it may exchange frames with. nil when undeclared.
@@ -150,7 +187,7 @@ func NewCluster(cfg *Config) *Cluster {
 	if c.HubPorts == 0 {
 		c.HubPorts = hub.DefaultPorts
 	}
-	cl := &Cluster{Cost: c.Cost, cfg: c}
+	cl := &Cluster{Cost: c.Cost, cfg: c, idToIdx: make(map[wire.NodeID]int32)}
 	if c.Flows != nil {
 		n := 0
 		for _, f := range c.Flows {
@@ -184,6 +221,10 @@ func NewCluster(cfg *Config) *Cluster {
 	} else {
 		cl.K = sim.NewKernel()
 	}
+	if c.Topology != nil {
+		cl.buildFabric(c.Topology)
+		return cl
+	}
 	cl.AddHub()
 	if cl.coupling != nil {
 		cl.Hubs[0].SetSharded()
@@ -193,8 +234,11 @@ func NewCluster(cfg *Config) *Cluster {
 
 // AddHub adds a crossbar to the installation and returns its index.
 func (cl *Cluster) AddHub() int {
+	if cl.topo != nil {
+		panic("nectar: the HUB fabric comes from Config.Topology; hand-wiring is unavailable")
+	}
 	if cl.coupling != nil && len(cl.Hubs) > 0 {
-		panic("nectar: sharded clusters support a single HUB")
+		panic("nectar: sharded clusters hand-wire a single HUB; pass Config.Topology for a sharded multi-HUB fabric")
 	}
 	h := hub.New(cl.K, cl.Cost, fmt.Sprintf("hub%d", len(cl.Hubs)), cl.cfg.HubPorts)
 	cl.Hubs = append(cl.Hubs, h)
@@ -205,8 +249,11 @@ func (cl *Cluster) AddHub() int {
 // ConnectHubs joins two HUBs with a fiber pair, consuming one port on
 // each (large Nectar systems are built this way, paper §2.1).
 func (cl *Cluster) ConnectHubs(a, b int) {
+	if cl.topo != nil {
+		panic("nectar: the HUB fabric comes from Config.Topology; hand-wiring is unavailable")
+	}
 	if cl.coupling != nil {
-		panic("nectar: sharded clusters support a single HUB")
+		panic("nectar: sharded clusters hand-wire a single HUB; pass Config.Topology for a sharded multi-HUB fabric")
 	}
 	pa := cl.allocPort(a)
 	pb := cl.allocPort(b)
@@ -215,6 +262,9 @@ func (cl *Cluster) ConnectHubs(a, b int) {
 	cl.Hubs[b].ConnectOut(pb, fiber.NewLink(cl.K, cl.Cost,
 		fmt.Sprintf("hub%d.%d->hub%d", b, pb, a), cl.Hubs[a].InPort(pa)))
 	cl.hubLinks = append(cl.hubLinks, hubLink{a, pa, b, pb}, hubLink{b, pb, a, pa})
+	if cl.routeTab != nil {
+		cl.routeTab.Reset() // hub paths changed; cached routes are stale
+	}
 	cl.recomputeRoutes()
 }
 
@@ -240,19 +290,37 @@ func (cl *Cluster) AddNode() *Node { return cl.AddNodeAt(0) }
 // too, so the only events that ever cross shards are HUB forwards (which
 // carry the setup latency, the coupling's lookahead).
 func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
-	id := wire.NodeID(len(cl.Nodes) + 1)
+	if cl.topo != nil {
+		panic("nectar: fabric clusters attach nodes at topology-defined points; use Node(i)")
+	}
 	port := cl.allocPort(hubIdx)
+	idx := len(cl.Nodes)
+	shard := 0
+	if cl.coupling != nil {
+		shard = cl.shardOf(idx)
+	}
+	cl.nodeShard = append(cl.nodeShard, int32(shard))
+	n := cl.bootNode(idx, hubIdx, port)
+	cl.recomputeRoutes()
+	return n
+}
+
+// bootNode builds and boots the full host/CAB pair for node index idx at
+// (hubIdx, port): hardware, fibers with their gateway role, runtime system
+// and protocol stacks. cl.nodeShard[idx] must already be set. Route
+// installation is the caller's job (eager all-pairs for hand-wired
+// clusters, per-peer at materialization for fabrics).
+func (cl *Cluster) bootNode(idx, hubIdx, port int) *Node {
+	id := wire.NodeID(len(cl.Nodes) + 1)
 
 	k := cl.K
-	shard := 0
 	var dom *sim.Domain
 	if cl.coupling != nil {
-		shard = cl.shardOf(len(cl.Nodes))
-		dom = cl.domains[shard]
+		dom = cl.domains[cl.nodeShard[idx]]
 		k = dom.Kernel()
 	}
 
-	c := cab.New(k, cl.Cost, id)
+	c := cab.NewSized(k, cl.Cost, id, cl.cfg.CABDataBytes)
 	if cl.cfg.RxThreadMode {
 		c.SetRxInterruptMode(false)
 	}
@@ -277,15 +345,10 @@ func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
 		// earliest-output bound (delivery + HubSetup) covers them all.
 		// The cross closure resolves the next route hop to the shard it
 		// forwards into, giving the coupling one safe bound per
-		// destination shard (per-channel lookahead).
-		nodeIdx := len(cl.Nodes)
-		up.SetGateway(sim.Duration(cl.Cost.HubSetup), func(out byte) (int, bool) {
-			s, ok := cl.shardOfHubPort(int(out))
-			if !ok || s == cl.nodeShard[nodeIdx] {
-				return 0, false
-			}
-			return s, true
-		})
+		// destination shard (per-channel lookahead). On multi-HUB
+		// fabrics the hop may enter a trunk, whose owning shard the
+		// HUB's output-domain table resolves the same way.
+		up.SetGateway(sim.Duration(cl.Cost.HubSetup), crossFn(hb, dom))
 		// Transmit-preparation floor: every frame this CAB can put on the
 		// uplink goes through datalink.Send, which consumes DatalinkProcess
 		// + DMASetup of CAB CPU time between the event that triggers it
@@ -308,30 +371,47 @@ func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
 			// safe bound of domains holding one of the node's declared
 			// peers. With a flow-affinity partition that is no domain at
 			// all, and windows stretch to the scheduling horizon.
-			up.SetReach(func(dstDom int) bool {
-				if nodeIdx >= len(cl.flowPeers) {
-					return false
-				}
-				for peer := range cl.flowPeers[nodeIdx] {
-					if peer < len(cl.nodeShard) && cl.nodeShard[peer] == dstDom {
-						return true
+			if cl.topo != nil {
+				// Fabric: the domains the *first* forward after this
+				// node's HUB can enter (same-HUB peers resolve to their
+				// shard, farther peers to the owner of the path's first
+				// trunk; later hops are covered by trunk gateways).
+				// Precomputed into a bitmap — the closure runs per
+				// (gateway, destination) in every window choose phase.
+				reach := cl.firstHopReach(idx)
+				up.SetReach(func(dstDom int) bool {
+					return dstDom >= 0 && dstDom < len(reach) && reach[dstDom]
+				})
+			} else {
+				up.SetReach(func(dstDom int) bool {
+					if idx >= len(cl.flowPeers) {
+						return false
 					}
-				}
-				return false
-			})
+					for peer := range cl.flowPeers[idx] {
+						if peer < len(cl.nodeShard) && int(cl.nodeShard[peer]) == dstDom {
+							return true
+						}
+					}
+					return false
+				})
+			}
 		}
 		dom.AddGateway(up)
 	}
-	cl.nodeShard = append(cl.nodeShard, shard)
-	cl.uplinks = append(cl.uplinks, up)
+	if cl.topo != nil {
+		cl.uplinks[idx] = up
+	} else {
+		cl.uplinks = append(cl.uplinks, up)
+	}
 	if cl.flowPeers != nil {
 		// The declaration is enforced on every frame, sequential or
 		// sharded, so a violating workload fails identically in both
-		// modes instead of silently desynchronizing them.
-		nodeIdx := len(cl.Nodes)
-		up.SetSendGuard(func(out byte) {
-			if dst := cl.nodeAtHubPort(int(out)); dst >= 0 && !cl.trafficAllowed(nodeIdx, dst) {
-				panic(fmt.Sprintf("nectar: node %d sent a frame toward node %d, which Config.Flows does not declare", nodeIdx, dst))
+		// modes instead of silently desynchronizing them. The destination
+		// comes from the frame's datalink header — on a fabric the first
+		// route byte names a trunk, not a node.
+		up.SetSendGuard(func(pkt *fiber.Packet) {
+			if dst, ok := cl.frameDst(pkt.Frame); ok && !cl.trafficAllowed(idx, dst) {
+				panic(fmt.Sprintf("nectar: node %d sent a frame toward node %d, which Config.Flows does not declare", idx, dst))
 			}
 		})
 	}
@@ -357,32 +437,79 @@ func (cl *Cluster) AddNodeAt(hubIdx int) *Node {
 	n.Sockets = sockets.New(n.TCP, n.Mailboxes, n.IF, n.Syncs)
 
 	cl.Nodes = append(cl.Nodes, n)
-	cl.recomputeRoutes()
+	cl.idToIdx[id] = int32(idx)
 	return n
 }
 
-// recomputeRoutes rebuilds every CAB's source-route table: BFS over the
-// HUB graph, then the destination CAB's attachment port.
+// crossFn builds the gateway cross-resolution closure for a link feeding
+// an input port of hb on domain own: a route byte crosses shards when the
+// HUB output port it names is owned by another domain. Unconnected or
+// out-of-range ports resolve local and fail with a routing diagnostic when
+// the forward executes.
+func crossFn(hb *hub.Hub, own *sim.Domain) func(out byte) (int, bool) {
+	return func(out byte) (int, bool) {
+		d := hb.OutDomain(int(out))
+		if d == nil || d == own {
+			return 0, false
+		}
+		return d.ID(), true
+	}
+}
+
+// frameDst resolves a frame's datalink destination to a node index
+// (materialized nodes only; false for short frames or unknown IDs).
+func (cl *Cluster) frameDst(frame []byte) (int, bool) {
+	if len(frame) < wire.DatalinkHeaderLen {
+		return 0, false
+	}
+	id := wire.NodeID(uint16(frame[6])<<8 | uint16(frame[7]))
+	idx, ok := cl.idToIdx[id]
+	return int(idx), ok
+}
+
+// routes returns the cluster's shared route table, creating it on first
+// use over the fabric's closed-form router (Config.Topology) or a BFS over
+// the hand-wired hub links.
+func (cl *Cluster) routes() *fabric.RouteTable {
+	if cl.routeTab == nil {
+		if cl.topo != nil {
+			cl.routeTab = fabric.NewRouteTable(cl.topo.HubPath)
+		} else {
+			cl.routeTab = fabric.NewRouteTable(cl.bfsHubPath)
+		}
+	}
+	return cl.routeTab
+}
+
+// RouteTableStats reports the shared route table's deduplicated size:
+// distinct route strings and their total bytes. Every CAB route entry is a
+// reference into this table.
+func (cl *Cluster) RouteTableStats() (entries, bytes int) {
+	return cl.routes().Entries(), cl.routes().Bytes()
+}
+
+// recomputeRoutes rebuilds every CAB's source-route table for hand-wired
+// clusters. Entries are references into the shared route table, so nodes
+// on the same HUB pair share backing arrays. src == dst is loopback: the
+// crossbar routes the frame straight back down the sender's own port, so
+// node-local transport traffic needs no special casing in software.
 func (cl *Cluster) recomputeRoutes() {
+	rt := cl.routes()
 	for _, src := range cl.Nodes {
 		for _, dst := range cl.Nodes {
-			// src == dst is loopback: the crossbar routes the frame
-			// straight back down the sender's own port, so node-local
-			// transport traffic needs no special casing in software.
-			if route, ok := cl.route(src.hubIdx, dst.hubIdx, dst.port); ok {
+			if route, ok := rt.Route(src.hubIdx, dst.hubIdx, dst.port); ok {
 				src.CAB.SetRoute(dst.ID, route)
 			}
 		}
 	}
 }
 
-// route returns the port bytes from HUB `from` to node attached at
-// (hub `to`, port finalPort).
-func (cl *Cluster) route(from, to, finalPort int) ([]byte, bool) {
+// bfsHubPath returns the output-port bytes from HUB `from` to HUB `to`
+// over the hand-wired hub links (excluding any final attachment port).
+func (cl *Cluster) bfsHubPath(from, to int) ([]byte, bool) {
 	if from == to {
-		return []byte{byte(finalPort)}, true
+		return nil, true
 	}
-	// BFS over hub links.
 	type hop struct {
 		hub  int
 		path []byte
@@ -399,7 +526,7 @@ func (cl *Cluster) route(from, to, finalPort int) ([]byte, bool) {
 			}
 			path := append(append([]byte(nil), cur.path...), byte(l.fromPort))
 			if l.toHub == to {
-				return append(path, byte(finalPort)), true
+				return path, true
 			}
 			visited[l.toHub] = true
 			queue = append(queue, hop{l.toHub, path})
@@ -433,6 +560,34 @@ func (cl *Cluster) shardOf(nodeIdx int) int {
 // order of their smallest node index and go to the least-loaded shard,
 // lowest index first on ties. Nodes in no flow are singleton components.
 func ShardByFlows(nodes, shards int, flows [][2]int) func(nodeIdx int) int {
+	assign := assignComponents(nodes, shards, flows, nil)
+	return func(nodeIdx int) int { return assign[nodeIdx] }
+}
+
+// ShardByFlowsOnFabric is ShardByFlows made locality-aware across HUB
+// tiers: flow components are placed in ascending order of their root's
+// edge crossbar, and a component whose crossbar already has components on
+// some shard joins that shard as long as its load stays within the
+// balanced ideal (ceil(nodes/shards)) — pure least-loaded packing would
+// split same-leaf components across shards every time sizes tie. On a
+// fabric cluster that concentrates each shard's traffic on shard-owned
+// trunks, which is what empties the trunk gateways' cross-shard reach and
+// lets safe windows stretch to the horizon.
+func ShardByFlowsOnFabric(topo *fabric.Topology, shards int, flows [][2]int) func(nodeIdx int) int {
+	assign := assignComponents(topo.NodeCount(), shards, flows, func(root int) int {
+		return int(topo.NodeHub[root])
+	})
+	return func(nodeIdx int) int { return assign[nodeIdx] }
+}
+
+// assignComponents unions the flow graph's connected components and packs
+// them onto shards least-loaded-first. Components are considered in
+// ascending (locality(root), root) order — locality nil means node-index
+// order — and ties go to the lowest shard, so the assignment is fully
+// deterministic. With a locality, a component additionally prefers the
+// shard its locality group last landed on, as long as that shard's load
+// stays within the balanced ideal.
+func assignComponents(nodes, shards int, flows [][2]int, locality func(root int) int) []int {
 	if shards < 1 {
 		shards = 1
 	}
@@ -459,52 +614,60 @@ func ShardByFlows(nodes, shards int, flows [][2]int) func(nodeIdx int) int {
 		}
 	}
 	size := make([]int, nodes) // per root
+	roots := make([]int, 0, nodes)
 	for i := 0; i < nodes; i++ {
-		size[find(i)]++
+		r := find(i)
+		if size[r] == 0 {
+			roots = append(roots, r)
+		}
+		size[r]++
+	}
+	if locality != nil {
+		// Stable by construction: roots are distinct, so the (locality,
+		// root) key is unique.
+		sortRootsBy(roots, locality)
 	}
 	assign := make([]int, nodes)
 	load := make([]int, shards)
 	shardOfRoot := make([]int, nodes)
-	for i := range shardOfRoot {
-		shardOfRoot[i] = -1
-	}
-	for i := 0; i < nodes; i++ {
-		r := find(i)
-		if shardOfRoot[r] < 0 {
-			s := 0
+	ideal := (nodes + shards - 1) / shards
+	lastShard := map[int]int{} // locality group -> shard it last landed on
+	for _, r := range roots {
+		s := -1
+		if locality != nil {
+			if p, ok := lastShard[locality(r)]; ok && load[p]+size[r] <= ideal {
+				s = p
+			}
+		}
+		if s < 0 {
+			s = 0
 			for j := 1; j < shards; j++ {
 				if load[j] < load[s] {
 					s = j
 				}
 			}
-			shardOfRoot[r] = s
-			load[s] += size[r]
 		}
-		assign[i] = shardOfRoot[r]
+		if locality != nil {
+			lastShard[locality(r)] = s
+		}
+		shardOfRoot[r] = s
+		load[s] += size[r]
 	}
-	return func(nodeIdx int) int { return assign[nodeIdx] }
+	for i := 0; i < nodes; i++ {
+		assign[i] = shardOfRoot[find(i)]
+	}
+	return assign
 }
 
-// shardOfHubPort reports the shard of the node attached at HUB port p
-// (sharded clusters have a single HUB, so the port identifies the node).
-func (cl *Cluster) shardOfHubPort(p int) (int, bool) {
-	for i, n := range cl.Nodes {
-		if n.port == p {
-			return cl.nodeShard[i], true
+// sortRootsBy orders component roots by (locality, root) ascending.
+func sortRootsBy(roots []int, locality func(root int) int) {
+	sort.Slice(roots, func(i, j int) bool {
+		li, lj := locality(roots[i]), locality(roots[j])
+		if li != lj {
+			return li < lj
 		}
-	}
-	return 0, false
-}
-
-// nodeAtHubPort resolves a HUB output port to the node index attached
-// there (-1 if the port is unoccupied or leads to another HUB).
-func (cl *Cluster) nodeAtHubPort(p int) int {
-	for i, n := range cl.Nodes {
-		if n.port == p {
-			return i
-		}
-	}
-	return -1
+		return roots[i] < roots[j]
+	})
 }
 
 // trafficAllowed reports whether the declared traffic matrix permits
@@ -550,7 +713,7 @@ func (cl *Cluster) ShardOfNode(i int) int {
 	if cl.coupling == nil {
 		return 0
 	}
-	return cl.nodeShard[i]
+	return int(cl.nodeShard[i])
 }
 
 // Kernels returns every simulation kernel of the cluster: one per shard,
@@ -602,9 +765,27 @@ func (cl *Cluster) ProfileReport() *prof.Report {
 	r.WireFrames = snap.Sum(obs.LayerFiber, "frames")
 	r.WireBytes = snap.Sum(obs.LayerFiber, "bytes")
 	for _, up := range cl.uplinks {
-		r.CrossShardFrames += up.CrossShardFrames()
+		if up != nil { // compact (unmaterialized) attachment points
+			r.CrossShardFrames += up.CrossShardFrames()
+		}
 	}
 	return r
+}
+
+// CrossShardFrames sums, over every gateway link (node uplinks and fabric
+// trunks), the frames that left their shard through the coupling. Zero
+// when sequential; only call between runs.
+func (cl *Cluster) CrossShardFrames() uint64 {
+	var n uint64
+	for _, up := range cl.uplinks {
+		if up != nil { // compact (unmaterialized) attachment points
+			n += up.CrossShardFrames()
+		}
+	}
+	for _, tr := range cl.trunks {
+		n += tr.CrossShardFrames()
+	}
+	return n
 }
 
 // MetricsSnapshot exports the cluster's metrics at the current virtual

@@ -1,0 +1,290 @@
+package nectar
+
+import (
+	"fmt"
+
+	"nectar/internal/fabric"
+	"nectar/internal/hw/fiber"
+	"nectar/internal/hw/hub"
+	"nectar/internal/sim"
+)
+
+// This file realizes Config.Topology: the whole HUB fabric — crossbars and
+// trunk fibers — is built up front from data, while nodes stay *compact*
+// (a few bytes of arena state per attachment point) until Node(i)
+// materializes a full host/CAB pair on first use.
+//
+// Sharded fabrics additionally assign every directed trunk an owning
+// shard: the trunk's link and the input port it feeds run on the owner's
+// kernel, and trunks whose forwards can enter another shard register as
+// gateways with the coupling, bounding cross-shard output per destination
+// exactly like node uplinks do. Ownership follows the declared flows
+// (majority of traversing traffic, by source shard), so a flow-affinity
+// partition leaves most trunks with an empty cross-shard reach — they stop
+// constraining safe windows entirely.
+
+// buildFabric creates hubs, trunks and the compact node arena from the
+// validated topology. Called once from NewCluster.
+func (cl *Cluster) buildFabric(topo *fabric.Topology) {
+	if err := topo.Validate(); err != nil {
+		panic("nectar: " + err.Error())
+	}
+	cl.topo = topo
+	n := topo.NodeCount()
+	if cl.flowPeers != nil && len(cl.flowPeers) > n {
+		panic(fmt.Sprintf("nectar: Config.Flows references node %d; the topology has %d attachment points",
+			len(cl.flowPeers)-1, n))
+	}
+	for i, ports := range topo.HubPorts {
+		h := hub.New(cl.K, cl.Cost, fmt.Sprintf("hub%d", i), ports)
+		if cl.coupling != nil {
+			h.SetSharded()
+		}
+		cl.Hubs = append(cl.Hubs, h)
+		cl.nextPort = append(cl.nextPort, 0)
+	}
+
+	// The compact node arena: shard, materialized pointer and uplink slot
+	// per attachment point. Everything else a node needs before it first
+	// carries traffic lives in the topology's own arrays (hub, port).
+	cl.mat = make([]*Node, n)
+	cl.uplinks = make([]*fiber.Link, n)
+	cl.nodeShard = make([]int32, n)
+	if cl.coupling != nil {
+		for i := range cl.nodeShard {
+			cl.nodeShard[i] = int32(cl.shardOf(i))
+		}
+	}
+
+	var reach [][]bool
+	if cl.coupling != nil {
+		cl.trunkOwner, reach = cl.planTrunks()
+	}
+	cl.trunks = make([]*fiber.Link, len(topo.Trunks))
+	for ti, tr := range topo.Trunks {
+		k := cl.K
+		var dom *sim.Domain
+		if cl.coupling != nil {
+			dom = cl.domains[cl.trunkOwner[ti]]
+			k = dom.Kernel()
+		}
+		var in fiber.Endpoint
+		if dom != nil {
+			in = cl.Hubs[tr.ToHub].InPortOn(tr.ToPort, k, dom)
+		} else {
+			in = cl.Hubs[tr.ToHub].InPort(tr.ToPort)
+		}
+		l := fiber.NewLink(k, cl.Cost, fmt.Sprintf("hub%d.%d->hub%d", tr.FromHub, tr.FromPort, tr.ToHub), in)
+		cl.Hubs[tr.FromHub].ConnectOut(tr.FromPort, l)
+		cl.trunks[ti] = l
+		if dom == nil {
+			continue
+		}
+		cl.Hubs[tr.FromHub].SetOutDomain(tr.FromPort, dom)
+		// Gateway role. With declared flows, only trunks whose forwards
+		// can actually enter another shard register (reach non-nil) —
+		// the rest provably never emit cross-shard, and skipping them
+		// keeps the coupling's choose phase O(active gateways), not
+		// O(trunks), on 262k-trunk fabrics. Without declared flows every
+		// trunk must register conservatively with unrestricted reach.
+		if cl.flowPeers == nil {
+			l.SetGateway(sim.Duration(cl.Cost.HubSetup), crossFn(cl.Hubs[tr.ToHub], dom))
+			dom.AddGateway(l)
+		} else if rb := reach[ti]; rb != nil {
+			l.SetGateway(sim.Duration(cl.Cost.HubSetup), crossFn(cl.Hubs[tr.ToHub], dom))
+			l.SetReach(func(dstDom int) bool {
+				return dstDom >= 0 && dstDom < len(rb) && rb[dstDom]
+			})
+			dom.AddGateway(l)
+		}
+	}
+}
+
+// planTrunks assigns every directed trunk an owning shard and computes its
+// cross-shard reach. Ownership is by majority vote of the declared flows
+// traversing the trunk (voting with the flow's source shard; ties to the
+// lowest shard), so with a flow-affinity partition a trunk is owned by the
+// shard whose traffic uses it. reach[ti] is the set of domains the next
+// forward after trunk ti can enter over declared flows — nil when every
+// next hop stays on the owner (the trunk then needs no gateway at all).
+// With undeclared traffic reach is nil and every trunk defaults to shard 0
+// with an unrestricted gateway.
+func (cl *Cluster) planTrunks() (owner []int32, reach [][]bool) {
+	nt := len(cl.topo.Trunks)
+	owner = make([]int32, nt)
+	if cl.flowPeers == nil {
+		return owner, nil
+	}
+	shards := len(cl.domains)
+	votes := make([]int32, nt*shards)
+	cl.eachFlowDirection(func(src, dst int) {
+		s := int(cl.nodeShard[src])
+		cl.walkTrunks(src, dst, func(ti int) {
+			votes[ti*shards+s]++
+		})
+	})
+	for ti := 0; ti < nt; ti++ {
+		best, bv := 0, int32(0)
+		for s := 0; s < shards; s++ {
+			if v := votes[ti*shards+s]; v > bv {
+				best, bv = s, v
+			}
+		}
+		owner[ti] = int32(best)
+	}
+	reach = make([][]bool, nt)
+	cl.eachFlowDirection(func(src, dst int) {
+		var seq []int
+		cl.walkTrunks(src, dst, func(ti int) { seq = append(seq, ti) })
+		for pos, ti := range seq {
+			next := cl.nodeShard[dst]
+			if pos+1 < len(seq) {
+				next = owner[seq[pos+1]]
+			}
+			if next != owner[ti] {
+				if reach[ti] == nil {
+					reach[ti] = make([]bool, shards)
+				}
+				reach[ti][next] = true
+			}
+		}
+	})
+	return owner, reach
+}
+
+// eachFlowDirection visits every declared flow in both directions (frames
+// flow both ways — acknowledgments at minimum), skipping self-loops, in
+// Config.Flows order: deterministic, unlike ranging over the peer sets.
+func (cl *Cluster) eachFlowDirection(visit func(src, dst int)) {
+	for _, f := range cl.cfg.Flows {
+		if f[0] == f[1] {
+			continue
+		}
+		visit(f[0], f[1])
+		visit(f[1], f[0])
+	}
+}
+
+// walkTrunks visits the directed trunks on the fabric route from node src
+// to node dst, in hop order (none when they share a crossbar).
+func (cl *Cluster) walkTrunks(src, dst int, visit func(trunkIdx int)) {
+	topo := cl.topo
+	at := int(topo.NodeHub[src])
+	path, ok := topo.HubPath(at, int(topo.NodeHub[dst]))
+	if !ok {
+		panic(fmt.Sprintf("nectar: no fabric path between nodes %d and %d", src, dst))
+	}
+	for _, p := range path {
+		ti, ok := topo.TrunkIndex(at, int(p))
+		if !ok {
+			panic(fmt.Sprintf("nectar: fabric route byte %d at hub %d names no trunk", p, at))
+		}
+		visit(ti)
+		at = topo.Trunks[ti].ToHub
+	}
+}
+
+// firstHopReach computes the set of domains the first forward after node
+// idx's crossbar can enter, over its declared peers: a same-HUB peer
+// resolves to the peer's shard, a farther peer to the owner of the path's
+// first trunk. Later hops are covered by trunk gateways. Used as the
+// node's uplink gateway reach on sharded fabrics.
+func (cl *Cluster) firstHopReach(idx int) []bool {
+	reach := make([]bool, len(cl.domains))
+	topo := cl.topo
+	srcHub := int(topo.NodeHub[idx])
+	if idx < len(cl.flowPeers) {
+		for peer := range cl.flowPeers[idx] {
+			if int(topo.NodeHub[peer]) == srcHub {
+				reach[cl.nodeShard[peer]] = true
+				continue
+			}
+			if path, ok := topo.HubPath(srcHub, int(topo.NodeHub[peer])); ok && len(path) > 0 {
+				if ti, ok := topo.TrunkIndex(srcHub, int(path[0])); ok {
+					reach[cl.trunkOwner[ti]] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// Node returns the node at index i. On a fabric cluster it materializes
+// the full host/CAB pair at attachment point i on first use — wire IDs,
+// trace names and routes follow materialization order, so workloads that
+// must compare byte-identically across runs materialize their nodes in
+// the same order. Under sharded execution, materialize before the first
+// Run/RunFor: gateways register with the coupling at boot. Hand-wired
+// clusters simply index Nodes.
+func (cl *Cluster) Node(i int) *Node {
+	if cl.topo == nil {
+		return cl.Nodes[i]
+	}
+	if i < 0 || i >= len(cl.mat) {
+		panic(fmt.Sprintf("nectar: node %d out of range; the topology has %d attachment points", i, len(cl.mat)))
+	}
+	if n := cl.mat[i]; n != nil {
+		return n
+	}
+	return cl.materialize(i)
+}
+
+// materialize boots the full node at attachment point i and installs the
+// routes between it and every relevant peer that is already materialized.
+// Routes depend only on attachment coordinates, so both directions can be
+// installed as soon as the second endpoint exists; compact nodes never
+// transmit (they have no stack), so they need no entries at all.
+func (cl *Cluster) materialize(i int) *Node {
+	topo := cl.topo
+	n := cl.bootNode(i, int(topo.NodeHub[i]), int(topo.NodePort[i]))
+	cl.mat[i] = n
+	rt := cl.routes()
+	if r, ok := rt.Route(n.hubIdx, n.hubIdx, n.port); ok {
+		n.CAB.SetRoute(n.ID, r) // loopback via the crossbar
+	}
+	link := func(p *Node) {
+		if r, ok := rt.Route(n.hubIdx, p.hubIdx, p.port); ok {
+			n.CAB.SetRoute(p.ID, r)
+		}
+		if r, ok := rt.Route(p.hubIdx, n.hubIdx, n.port); ok {
+			p.CAB.SetRoute(n.ID, r)
+		}
+	}
+	if cl.flowPeers != nil {
+		if i < len(cl.flowPeers) {
+			for peer := range cl.flowPeers[i] {
+				if p := cl.mat[peer]; p != nil && p != n {
+					link(p)
+				}
+			}
+		}
+	} else {
+		for _, p := range cl.Nodes {
+			if p != n {
+				link(p)
+			}
+		}
+	}
+	return n
+}
+
+// NodeCount returns the number of attachment points of a fabric cluster,
+// or the number of added nodes of a hand-wired one.
+func (cl *Cluster) NodeCount() int {
+	if cl.topo != nil {
+		return len(cl.mat)
+	}
+	return len(cl.Nodes)
+}
+
+// MaterializedNodes reports how many nodes have a booted protocol stack
+// (equal to NodeCount on hand-wired clusters).
+func (cl *Cluster) MaterializedNodes() int { return len(cl.Nodes) }
+
+// Topology returns the fabric this cluster was built from (nil when
+// hand-wired).
+func (cl *Cluster) Topology() *fabric.Topology { return cl.topo }
+
+// TrunkLink returns the fiber link realizing directed trunk ti of the
+// fabric (tests use it for fault injection on inter-HUB paths).
+func (cl *Cluster) TrunkLink(ti int) *fiber.Link { return cl.trunks[ti] }

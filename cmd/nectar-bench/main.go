@@ -26,7 +26,9 @@
 // Experiments: table1, fig6, fig7, fig8, netdev, micro, ablate-ipmode,
 // ablate-upcall, ablate-switching, ablate-rmpwindow, mailbox-impl,
 // kernel (event-queue benchmark, writes -benchjson),
-// pdes (sharded-execution benchmark, writes -pdesjson), all (default).
+// pdes (sharded-execution benchmark, writes -pdesjson),
+// scale (datacenter-fabric sweep to 65,536 nodes, writes -scalejson;
+// -scalemax N caps the largest fabric for smoke runs), all (default).
 package main
 
 import (
@@ -49,6 +51,8 @@ var (
 	shardsFlag   = flag.Int("shards", 1, "shard kernels per experiment cluster (1 = sequential; results identical either way)")
 	benchJSON    = flag.String("benchjson", "BENCH_kernel.json", "output path for the kernel experiment's JSON report")
 	pdesJSON     = flag.String("pdesjson", "BENCH_pdes.json", "output path for the pdes experiment's JSON report")
+	scaleJSON    = flag.String("scalejson", "BENCH_scale.json", "output path for the scale experiment's JSON report")
+	scaleMax     = flag.Int("scalemax", 0, "cap the scale experiment's largest fabric at this many nodes (0 = full sweep to 65,536)")
 	profFlag     = flag.Bool("prof", false, "profile the pdes experiment's sharded run: BENCH_pdes.json gains a `profile` wall-clock breakdown")
 	allowOversub = flag.Bool("allow-oversubscribed", false, "let the pdes experiment run with more shard workers than usable cores (the JSON is then marked oversubscribed and its speedup is not a scheduler verdict)")
 	cpuProfile   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file (samples carry shard/phase labels under -prof)")
@@ -220,6 +224,18 @@ func run(name string, cost *model.CostModel) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "# wrote %s\n", *benchJSON)
+		}
+	case "scale":
+		r, err := bench.Scale(cost, *scaleMax)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if *scaleJSON != "" {
+			if err := r.WriteJSON(*scaleJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", *scaleJSON)
 		}
 	case "pdes":
 		shards := *shardsFlag

@@ -116,7 +116,18 @@ type CAB struct {
 
 // New creates a CAB for the given node with default memory geometry.
 func New(k *sim.Kernel, cost *model.CostModel, node wire.NodeID) *CAB {
-	data := mem.NewRegion(fmt.Sprintf("cab%d.data", node), mem.DefaultDataSize)
+	return NewSized(k, cost, node, 0)
+}
+
+// NewSized creates a CAB with dataBytes of packet memory (0 selects the
+// default 1 MB, the prototype's geometry). Scale experiments shrink it so
+// tens of thousands of materialized nodes fit in host memory; behavior is
+// identical unless the workload actually exhausts the buffer heap.
+func NewSized(k *sim.Kernel, cost *model.CostModel, node wire.NodeID, dataBytes int) *CAB {
+	if dataBytes <= 0 {
+		dataBytes = mem.DefaultDataSize
+	}
+	data := mem.NewRegion(fmt.Sprintf("cab%d.data", node), dataBytes)
 	c := &CAB{
 		node:   node,
 		k:      k,
@@ -155,8 +166,12 @@ func (c *CAB) ConnectFiber(out *fiber.Link) { c.out = out }
 func (c *CAB) OutLink() *fiber.Link { return c.out }
 
 // SetRoute installs the source route (HUB output-port bytes) to reach dst.
+// The slice is retained by reference and must stay immutable: clusters
+// point every CAB at one shared, deduplicated route table (HUBs consume
+// hops by re-slicing, never writing — see fiber.Packet), so copying here
+// would multiply the table per node.
 func (c *CAB) SetRoute(dst wire.NodeID, route []byte) {
-	c.routes[dst] = append([]byte(nil), route...)
+	c.routes[dst] = route
 }
 
 // Route returns the source route to dst.

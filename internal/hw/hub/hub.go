@@ -94,6 +94,27 @@ func (h *Hub) InPortOn(p int, k *sim.Kernel, dom *sim.Domain) fiber.Endpoint {
 // coupling as timestamped inter-domain messages instead of local events.
 func (h *Hub) SetOutDomain(p int, d *sim.Domain) { h.outDom[p] = d }
 
+// OutDomain returns the shard owning the link leaving output port p (nil
+// when the port is local, unconnected, or out of range). Gateway cross
+// closures use it to resolve a route byte to the domain a forward enters —
+// out-of-range bytes resolve to nil here and fail with a proper diagnostic
+// when the forward executes.
+func (h *Hub) OutDomain(p int) *sim.Domain {
+	if p < 0 || p >= len(h.outDom) {
+		return nil
+	}
+	return h.outDom[p]
+}
+
+// OutLink returns the link leaving output port p (nil if unconnected or
+// out of range).
+func (h *Hub) OutLink(p int) *fiber.Link {
+	if p < 0 || p >= len(h.out) {
+		return nil
+	}
+	return h.out[p]
+}
+
 // SetSharded marks the HUB as spanning shards: controller circuit commands
 // are refused, because a circuit forwards with zero switch delay and would
 // destroy the coupling's lookahead (and its port reservations would be
@@ -122,21 +143,25 @@ type inPort struct {
 func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 	h := ip.hub
 	if len(pkt.Route) == 0 {
-		ip.k.Fatalf("hub %s: packet with exhausted route arrived on port %d", h.name, ip.port)
+		ip.k.Fatalf("hub %s: packet with exhausted route arrived on input port %d (%s)",
+			h.name, ip.port, frameIDs(pkt.Frame))
 		return
 	}
 	outPort := int(pkt.Route[0])
 	pkt.Route = pkt.Route[1:]
 	if outPort >= len(h.out) || h.out[outPort] == nil {
-		ip.k.Fatalf("hub %s: route names unconnected port %d", h.name, outPort)
+		ip.k.Fatalf("hub %s: route names unconnected port %d (input port %d, %s, remaining route [% x])",
+			h.name, outPort, ip.port, frameIDs(pkt.Frame), pkt.Route)
 		return
 	}
 	if h.circ[outPort] >= 0 && !pkt.Circuit {
-		ip.k.Fatalf("hub %s: packet-switched frame to port %d which is circuit-reserved", h.name, outPort)
+		ip.k.Fatalf("hub %s: packet-switched frame to port %d which is circuit-reserved (%s)",
+			h.name, outPort, frameIDs(pkt.Frame))
 		return
 	}
 	if pkt.Circuit && h.circ[outPort] != ip.port {
-		ip.k.Fatalf("hub %s: circuit frame on port %d but no circuit from input %d", h.name, outPort, ip.port)
+		ip.k.Fatalf("hub %s: circuit frame on port %d but no circuit from input %d (%s)",
+			h.name, outPort, ip.port, frameIDs(pkt.Frame))
 		return
 	}
 	delay := h.cost.HubSetup
@@ -156,6 +181,21 @@ func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 		return
 	}
 	ip.k.At(t, func() { out.SendAt(pkt, t) })
+}
+
+// frameIDs renders a frame's datalink source/destination node IDs for
+// forwarding diagnostics — on a multi-hop fabric a port number alone does
+// not identify the flow. The src/dst words sit at fixed offsets in the
+// datalink header (wire.DatalinkHeader, bytes 4:6 and 6:8, big-endian);
+// decoding them inline avoids making the crossbar depend on the protocol
+// package. Frames shorter than the header (raw test packets) report "?".
+func frameIDs(frame []byte) string {
+	if len(frame) < 8 {
+		return "src=? dst=?"
+	}
+	src := uint16(frame[4])<<8 | uint16(frame[5])
+	dst := uint16(frame[6])<<8 | uint16(frame[7])
+	return fmt.Sprintf("src=node%d dst=node%d", src, dst)
 }
 
 // OpenCircuit reserves output port out for traffic from input port in
