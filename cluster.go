@@ -192,7 +192,7 @@ func NewCluster(cfg *Config) *Cluster {
 		n := 0
 		for _, f := range c.Flows {
 			if f[0] < 0 || f[1] < 0 {
-				panic(fmt.Sprintf("nectar: Flows entry %v has a negative node index", f))
+				sim.Panicf("nectar: Flows entry %v has a negative node index", f)
 			}
 			if f[0] >= n {
 				n = f[0] + 1
@@ -271,7 +271,7 @@ func (cl *Cluster) ConnectHubs(a, b int) {
 func (cl *Cluster) allocPort(hubIdx int) int {
 	p := cl.nextPort[hubIdx]
 	if p >= cl.Hubs[hubIdx].Ports() {
-		panic(fmt.Sprintf("nectar: hub %d out of ports", hubIdx))
+		sim.Panicf("nectar: hub %d out of ports", hubIdx)
 	}
 	cl.nextPort[hubIdx]++
 	return p
@@ -411,7 +411,7 @@ func (cl *Cluster) bootNode(idx, hubIdx, port int) *Node {
 		// route byte names a trunk, not a node.
 		up.SetSendGuard(func(pkt *fiber.Packet) {
 			if dst, ok := cl.frameDst(pkt.Frame); ok && !cl.trafficAllowed(idx, dst) {
-				panic(fmt.Sprintf("nectar: node %d sent a frame toward node %d, which Config.Flows does not declare", idx, dst))
+				sim.Panicf("nectar: node %d sent a frame toward node %d, which Config.Flows does not declare", idx, dst)
 			}
 		})
 	}
@@ -540,7 +540,7 @@ func (cl *Cluster) shardOf(nodeIdx int) int {
 	if cl.cfg.ShardOf != nil {
 		s := cl.cfg.ShardOf(nodeIdx)
 		if s < 0 || s >= cl.cfg.Shards {
-			panic(fmt.Sprintf("nectar: ShardOf(%d) = %d out of range [0,%d)", nodeIdx, s, cl.cfg.Shards))
+			sim.Panicf("nectar: ShardOf(%d) = %d out of range [0,%d)", nodeIdx, s, cl.cfg.Shards)
 		}
 		return s
 	}

@@ -32,8 +32,8 @@ func (cl *Cluster) buildFabric(topo *fabric.Topology) {
 	cl.topo = topo
 	n := topo.NodeCount()
 	if cl.flowPeers != nil && len(cl.flowPeers) > n {
-		panic(fmt.Sprintf("nectar: Config.Flows references node %d; the topology has %d attachment points",
-			len(cl.flowPeers)-1, n))
+		sim.Panicf("nectar: Config.Flows references node %d; the topology has %d attachment points",
+			len(cl.flowPeers)-1, n)
 	}
 	for i, ports := range topo.HubPorts {
 		h := hub.New(cl.K, cl.Cost, fmt.Sprintf("hub%d", i), ports)
@@ -172,12 +172,12 @@ func (cl *Cluster) walkTrunks(src, dst int, visit func(trunkIdx int)) {
 	at := int(topo.NodeHub[src])
 	path, ok := topo.HubPath(at, int(topo.NodeHub[dst]))
 	if !ok {
-		panic(fmt.Sprintf("nectar: no fabric path between nodes %d and %d", src, dst))
+		sim.Panicf("nectar: no fabric path between nodes %d and %d", src, dst)
 	}
 	for _, p := range path {
 		ti, ok := topo.TrunkIndex(at, int(p))
 		if !ok {
-			panic(fmt.Sprintf("nectar: fabric route byte %d at hub %d names no trunk", p, at))
+			sim.Panicf("nectar: fabric route byte %d at hub %d names no trunk", p, at)
 		}
 		visit(ti)
 		at = topo.Trunks[ti].ToHub
@@ -221,7 +221,7 @@ func (cl *Cluster) Node(i int) *Node {
 		return cl.Nodes[i]
 	}
 	if i < 0 || i >= len(cl.mat) {
-		panic(fmt.Sprintf("nectar: node %d out of range; the topology has %d attachment points", i, len(cl.mat)))
+		sim.Panicf("nectar: node %d out of range; the topology has %d attachment points", i, len(cl.mat))
 	}
 	if n := cl.mat[i]; n != nil {
 		return n

@@ -8,7 +8,7 @@
 // go statement silently breaks reproducibility of Figures 6–8. These
 // analyzers turn the conventions into checked rules.
 //
-// The eight analyzers are:
+// The eleven analyzers are:
 //
 //	walltime   — no wall-clock time (time.Now/Sleep/...) in deterministic
 //	             packages; //nectar:allow-walltime <reason> escapes
@@ -36,6 +36,22 @@
 //	             time.Duration<->sim unit conversions, no raw numeric
 //	             literals where sim.Duration/sim.Time is expected, and no
 //	             unit-dropping numeric casts outside package sim.
+//	obsgate    — zero-cost observability, proven by dataflow (cfg.go,
+//	             dataflow.go): every obs trace/capture emission whose
+//	             arguments allocate or format must be dominated by the
+//	             matching enabled-guard branch, including allocations
+//	             escaping through locals; metric emissions must not take
+//	             allocating arguments at all.
+//	costmodel  — latency-model soundness, proven on the call graph: every
+//	             path from protocol/datalink code to a fiber/VME transmit
+//	             must charge a model.CostModel latency before the
+//	             transmit; //nectar:free-hop <reason> waives audited pure
+//	             forwarding steps.
+//	detfail    — failure-path determinism: deterministic packages fail
+//	             through Kernel.Fatalf or sim.Panicf, never os.Exit, the
+//	             global log package, or ad-hoc panic(fmt.Sprintf(...));
+//	             //nectar:diag-helper <reason> marks the sanctioned
+//	             diagnostic surfaces.
 //
 // The types below mirror the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) so the analyzers read idiomatically and
@@ -117,42 +133,6 @@ func canonicalPkgPath(path string) string {
 	return path
 }
 
-// deterministicPrefixes lists the import paths (and their subtrees) that
-// must execute purely on virtual time: every layer that runs inside a
-// simulation kernel, plus the experiment drivers whose outputs the
-// paper's figures are reproduced from. cmd/ and examples/ are excluded:
-// CLIs may measure wall clock and print freely.
-var deterministicPrefixes = []string{
-	"nectar/internal/sim",
-	"nectar/internal/rt",
-	"nectar/internal/proto",
-	"nectar/internal/hw",
-	"nectar/internal/obs",
-	"nectar/internal/bench",
-	"nectar/internal/model",
-	"nectar/internal/pool",
-	"nectar/internal/prof",
-	"nectar/internal/netdev",
-	"nectar/internal/sockets",
-	"nectar/internal/nectarine",
-}
-
-// IsDeterministicPkg reports whether the import path names a package
-// covered by the determinism contract (see deterministicPrefixes; the
-// module root package — cluster.go — is covered too).
-func IsDeterministicPkg(path string) bool {
-	path = canonicalPkgPath(path)
-	if path == "nectar" {
-		return true
-	}
-	for _, p := range deterministicPrefixes {
-		if path == p || strings.HasPrefix(path, p+"/") {
-			return true
-		}
-	}
-	return false
-}
-
 // pkgNameOf resolves an identifier used as a package qualifier, returning
 // the imported package's path ("" when expr is not a package name).
 func pkgNameOf(info *types.Info, expr ast.Expr) string {
@@ -181,9 +161,10 @@ func recvPkgPath(info *types.Info, sel *ast.SelectorExpr) (pkg, name string) {
 }
 
 // All returns the full nectar-vet analyzer suite in reporting order: the
-// five intraprocedural analyzers from the original suite plus the three
-// interprocedural ones built on the call graph (hotprop, shardsafe) and
-// the unit-safety checker (unitsafe).
+// five intraprocedural analyzers from the original suite, the
+// interprocedural ones built on the call graph (hotprop, shardsafe,
+// costmodel), the unit-safety checker (unitsafe), and the dataflow-based
+// observability and failure-path checkers (obsgate, detfail).
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, Detrange, Seededrand, Rawgo, Hotpath, Hotprop, Shardsafe, Unitsafe}
+	return []*Analyzer{Walltime, Detrange, Seededrand, Rawgo, Hotpath, Hotprop, Shardsafe, Unitsafe, Obsgate, Costmodel, Detfail}
 }

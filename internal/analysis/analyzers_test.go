@@ -58,6 +58,27 @@ func TestShardsafe(t *testing.T) {
 	)
 }
 
+func TestCostmodel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Costmodel,
+		"nectar/internal/proto/cmpos", // uncharged chains, charges, waivers, placement
+		"other/costfree",              // non-deterministic package: silent
+	)
+}
+
+func TestDetfail(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Detfail,
+		"nectar/internal/sim/dfpos", // os.Exit, log, ad-hoc panics, helpers, placement
+		"other/failures",            // non-deterministic package: silent
+	)
+}
+
+func TestObsgate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Obsgate,
+		"nectar/internal/hw/ogpos", // guard spellings, taint escapes, closures, metrics
+		"other/tracearg",           // non-deterministic package: silent
+	)
+}
+
 func TestUnitsafe(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.Unitsafe,
 		"nectar/internal/sim/uspos", // deterministic package: positives + sanctioned forms

@@ -95,6 +95,10 @@ type FuncNode struct {
 	// Boundary marks //nectar:shard-boundary <reason> functions: audited
 	// cross-domain surfaces that shardsafe skips.
 	Boundary bool
+	// FreeHop marks //nectar:free-hop <reason> functions: audited pure
+	// forwarding steps whose latency is accounted elsewhere; costmodel
+	// accepts uncharged paths through them.
+	FreeHop bool
 
 	display string
 }
@@ -125,6 +129,9 @@ type Program struct {
 
 	hotDone  bool
 	hotDiags map[string][]Diagnostic // pkg path -> hotprop findings
+
+	costDone  bool
+	costDiags map[string][]Diagnostic // pkg path -> costmodel findings
 
 	shardOnce  bool
 	shardFacts *shardFactTable
@@ -213,6 +220,8 @@ func (prog *Program) ensureGraph() {
 						n.Exempt = true
 					case d.verb == DirShardBoundary && d.arg != "":
 						n.Boundary = true
+					case d.verb == DirFreeHop && d.arg != "":
+						n.FreeHop = true
 					}
 				}
 				prog.fns[n.ID] = n
@@ -272,11 +281,37 @@ func (prog *Program) scanBody(n *FuncNode) {
 			return false // the child's scan owns this subtree
 		case *ast.CallExpr:
 			prog.edgesForCall(n, x)
+		case *ast.AssignStmt:
+			// A named function or method value stored in a variable or
+			// struct field escapes into later (possibly deferred)
+			// invocation, exactly like one passed as a call argument.
+			prog.valueEdges(n, x.Rhs)
+		case *ast.ValueSpec:
+			prog.valueEdges(n, x.Values)
+		case *ast.CompositeLit:
+			// Function values seeded through composite literals
+			// (handler tables, struct construction).
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				prog.valueEdges(n, []ast.Expr{el})
+			}
 		}
 		return true
 	}
 	if body := n.Body(); body != nil {
 		ast.Inspect(body, walk)
+	}
+}
+
+// valueEdges adds EdgeValue edges for named function/method values among
+// exprs (assignment right-hand sides, composite-literal elements).
+func (prog *Program) valueEdges(n *FuncNode, exprs []ast.Expr) {
+	for _, e := range exprs {
+		if obj := funcValueOf(n.Pkg.TypesInfo, e); obj != nil {
+			prog.addEdge(n, e.Pos(), obj, EdgeValue)
+		}
 	}
 }
 

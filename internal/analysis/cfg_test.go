@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// succIndexes returns the successor indexes of block i.
+func succIndexes(cfg *CFG, i int) []int {
+	var out []int
+	for _, s := range cfg.Blocks[i].Succs {
+		out = append(out, s.Index)
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := buildCFG(parseBody(t, "x := 1\ny := 2\n_ = x + y"))
+	if len(cfg.Blocks) != 1 {
+		t.Fatalf("straight-line body: got %d blocks, want 1", len(cfg.Blocks))
+	}
+	if n := len(cfg.Blocks[0].Nodes); n != 3 {
+		t.Fatalf("entry block nodes = %d, want 3", n)
+	}
+	if len(cfg.Blocks[0].Succs) != 0 {
+		t.Fatalf("entry block has successors %v, want none", succIndexes(cfg, 0))
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+if c {
+	a()
+} else {
+	b()
+}
+d()`))
+	entry := cfg.Blocks[0]
+	if entry.Cond == nil {
+		t.Fatalf("entry block lacks the if condition")
+	}
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (then, else)", len(entry.Succs))
+	}
+	thenB, elseB := entry.Succs[0], entry.Succs[1]
+	if len(thenB.Succs) != 1 || len(elseB.Succs) != 1 || thenB.Succs[0] != elseB.Succs[0] {
+		t.Fatalf("then/else must join in one block; then->%v else->%v",
+			succIndexes(cfg, thenB.Index), succIndexes(cfg, elseB.Index))
+	}
+}
+
+func TestCFGIfNoElseFalseEdge(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+if c {
+	a()
+}
+d()`))
+	entry := cfg.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (then, join)", len(entry.Succs))
+	}
+	// Succs[0] is the true edge, Succs[1] the false edge (the join).
+	thenB, join := entry.Succs[0], entry.Succs[1]
+	if len(thenB.Succs) != 1 || thenB.Succs[0] != join {
+		t.Fatalf("then block must fall through to the join")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+if c {
+	return
+}
+d()`))
+	entry := cfg.Blocks[0]
+	thenB := entry.Succs[0]
+	if len(thenB.Succs) != 0 {
+		t.Fatalf("return block has successors %v, want none", succIndexes(cfg, thenB.Index))
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+if c {
+	panic("boom")
+}
+d()`))
+	entry := cfg.Blocks[0]
+	thenB := entry.Succs[0]
+	if len(thenB.Succs) != 0 {
+		t.Fatalf("panic block has successors %v, want none", succIndexes(cfg, thenB.Index))
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+for i := 0; i < n; i++ {
+	body()
+}
+after()`))
+	// Find the head: the block carrying the loop condition.
+	var head *Block
+	for _, blk := range cfg.Blocks {
+		if blk.Cond != nil {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no block carries the loop condition")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop head has %d successors, want 2 (body, exit)", len(head.Succs))
+	}
+	// The body must cycle back to the head through the post block.
+	seen := map[*Block]bool{}
+	var reaches func(from, to *Block) bool
+	reaches = func(from, to *Block) bool {
+		if from == to {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, s := range from.Succs {
+			if reaches(s, to) {
+				return true
+			}
+		}
+		return false
+	}
+	if !reaches(head.Succs[0], head) {
+		t.Fatalf("loop body does not reach the head (no back edge)")
+	}
+}
+
+func TestCFGSwitchFanOut(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+switch x {
+case 1:
+	a()
+case 2:
+	b()
+}
+d()`))
+	entry := cfg.Blocks[0]
+	// Two cases plus the implicit no-default edge to the join.
+	if len(entry.Succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3 (case, case, join)", len(entry.Succs))
+	}
+	if entry.Cond != nil {
+		t.Fatalf("switch head must not carry a refining condition")
+	}
+}
+
+func TestCFGSwitchWithDefault(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+switch x {
+case 1:
+	a()
+default:
+	b()
+}
+d()`))
+	entry := cfg.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("switch-with-default head has %d successors, want 2", len(entry.Succs))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+outer:
+for {
+	for {
+		break outer
+	}
+}
+after()`))
+	// The inner break must reach the statement after the outer loop: the
+	// block holding after() must be reachable from entry.
+	var afterBlk *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+						afterBlk = blk
+					}
+				}
+			}
+		}
+	}
+	if afterBlk == nil {
+		t.Fatalf("after() not found in any block")
+	}
+	seen := map[*Block]bool{}
+	var reaches func(from *Block) bool
+	reaches = func(from *Block) bool {
+		if from == afterBlk {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, s := range from.Succs {
+			if reaches(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !reaches(cfg.Blocks[0]) {
+		t.Fatalf("break outer does not make after() reachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+	goto done
+done:
+	after()`))
+	// after() must be reachable from entry through the goto edge.
+	reachable := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reachable[b.Index] {
+			return
+		}
+		reachable[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Blocks[0])
+	found := false
+	for _, blk := range cfg.Blocks {
+		if !reachable[blk.Index] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("goto target is not reachable")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `
+for _, v := range xs {
+	use(v)
+}
+after()`))
+	// The range head has two successors (body, exit) and no condition.
+	var head *Block
+	for _, blk := range cfg.Blocks {
+		if len(blk.Succs) == 2 && blk.Cond == nil {
+			head = blk
+			break
+		}
+	}
+	if head == nil {
+		t.Fatalf("no two-way condition-less head found for range")
+	}
+}
+
+func TestCFGEmptyBody(t *testing.T) {
+	cfg := buildCFG(parseBody(t, ""))
+	if len(cfg.Blocks) == 0 {
+		t.Fatalf("empty body must still produce an entry block")
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// A generic forward dataflow framework over the CFGs of cfg.go. One
+// instantiation per lattice: obsgate runs a combined dominating-guard
+// (must, intersection-join) and taint (may, union-join) analysis; the
+// framework itself is agnostic — it just runs the classic worklist
+// algorithm to a fixpoint.
+//
+// Facts propagate block-entry to block-entry: Solve returns the IN fact
+// of every block, and a client replays Transfer across a block's nodes
+// to recover the fact at each statement. Branch refines the fact along
+// the true/false edges of two-way branches (if conditions, for
+// conditions); edges of multi-way branches carry the unrefined fact.
+
+// flow defines one forward dataflow problem over fact type F. F must be
+// treated as immutable by all three functions: Transfer and Branch
+// return fresh values (or the input unchanged), never mutate in place —
+// the solver aliases facts freely.
+type flow[F any] struct {
+	// entry is the fact at function entry.
+	entry F
+	// join merges facts where control-flow paths meet. It must be
+	// commutative, associative, and monotone (repeated joins converge).
+	join func(F, F) F
+	// equal reports whether two facts are indistinguishable; the solver
+	// stops re-queuing a block when its IN fact stops changing.
+	equal func(F, F) bool
+	// transfer applies the effect of one block node.
+	transfer func(n ast.Node, f F) F
+	// branch, when non-nil, refines the fact along the true (takenTrue)
+	// or false edge of a block ending in condition cond.
+	branch func(cond ast.Expr, takenTrue bool, f F) F
+}
+
+// solve runs the worklist algorithm and returns the IN fact of every
+// block, indexed by Block.Index. Blocks unreachable from entry keep F's
+// zero value and are never visited; clients replaying facts should skip
+// blocks solve reports unreached.
+func solve[F any](cfg *CFG, fl flow[F]) (in []F, reached []bool) {
+	n := len(cfg.Blocks)
+	in = make([]F, n)
+	reached = make([]bool, n)
+	in[0] = fl.entry
+	reached[0] = true
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		blk := cfg.Blocks[bi]
+		f := in[bi]
+		for _, node := range blk.Nodes {
+			f = fl.transfer(node, f)
+		}
+		for i, succ := range blk.Succs {
+			sf := f
+			if blk.Cond != nil && len(blk.Succs) == 2 && fl.branch != nil {
+				sf = fl.branch(blk.Cond, i == 0, f)
+			}
+			si := succ.Index
+			if !reached[si] {
+				in[si] = sf
+				reached[si] = true
+			} else {
+				merged := fl.join(in[si], sf)
+				if fl.equal(merged, in[si]) {
+					continue
+				}
+				in[si] = merged
+			}
+			if !inWork[si] {
+				inWork[si] = true
+				work = append(work, si)
+			}
+		}
+	}
+	return in, reached
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Detfail polices failure paths in deterministic packages: a simulation
+// invariant violation must surface through the deterministic diagnostic
+// helpers — Kernel.Fatalf for recoverable misconfiguration the run
+// reports, sim.Panicf for programming errors — so two replays of the
+// same seed fail with byte-identical messages at the same virtual
+// instant. Flagged escape routes:
+//
+//   - os.Exit: kills the process without unwinding; no deferred capture
+//     flush, no merged-run comparison, and the exit code is the only
+//     evidence.
+//   - package log (log.Printf, log.Fatal, ...): stamps wall-clock times
+//     into the output and writes to a global logger the harness does not
+//     own.
+//   - panic(fmt.Sprintf(...)) and friends: ad-hoc formatted panics
+//     drift in format between sites; routing them through sim.Panicf
+//     (annotated //nectar:diag-helper) keeps messages uniform and gives
+//     grep one place to find every formatted invariant panic. A bare
+//     panic("constant") stays legal — it is already deterministic.
+//
+// Functions annotated //nectar:diag-helper <reason> are the sanctioned
+// implementation surface and are skipped; the waiver inventory
+// (nectar-vet -waivers) lists them.
+var Detfail = &Analyzer{
+	Name: "detfail",
+	Doc: "failure paths in deterministic packages must route through the deterministic diagnostic helpers " +
+		"(Kernel.Fatalf, sim.Panicf): report os.Exit, package log calls, and ad-hoc panic(fmt.Sprintf(...)). " +
+		"Functions annotated //nectar:diag-helper <reason> are the sanctioned implementation surface. " +
+		"Also validates //nectar:diag-helper placement.",
+	Run: runDetfail,
+}
+
+// detfailFmt lists the fmt formatters whose result, handed to panic,
+// marks an ad-hoc formatted panic.
+var detfailFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func runDetfail(pass *Pass) (any, error) {
+	// Placement: //nectar:diag-helper must be a function declaration's
+	// doc comment. Validated in every package (like the other directive
+	// placement rules) so a stray annotation is caught where it appears.
+	for _, f := range pass.Files {
+		onDecl := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirDiagHelper {
+						onDecl[fd.Doc] = true
+					}
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			if onDecl[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if d, ok := parseDirective(pass.Fset, c); ok && d.verb == DirDiagHelper {
+					pass.Reportf(d.pos, "//nectar:diag-helper must be part of a function declaration's doc comment")
+				}
+			}
+		}
+	}
+
+	if !IsDeterministicPkg(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isDiagHelper(pass, fd) {
+				continue
+			}
+			checkFailurePaths(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isDiagHelper reports whether fd carries //nectar:diag-helper <reason>
+// in its doc comment.
+func isDiagHelper(pass *Pass, fd *ast.FuncDecl) bool {
+	for _, d := range declDirectives(pass.Fset, fd) {
+		if d.verb == DirDiagHelper && d.arg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFailurePaths(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			switch pkgNameOf(pass.TypesInfo, fun.X) {
+			case "os":
+				if fun.Sel.Name == "Exit" {
+					pass.Reportf(call.Pos(), "os.Exit in a deterministic package kills the run without a replayable diagnostic; "+
+						"fail through Kernel.Fatalf (reported by Run) or sim.Panicf")
+				}
+			case "log":
+				pass.Reportf(call.Pos(), "package log writes wall-clock-stamped output through a global logger; "+
+					"deterministic packages must diagnose through Kernel.Fatalf, sim.Panicf, or the obs trace sinks")
+			}
+		case *ast.Ident:
+			if fun.Name == "panic" && pass.TypesInfo.Types[call.Fun].IsBuiltin() && len(call.Args) == 1 {
+				if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+					if sel, ok := inner.Fun.(*ast.SelectorExpr); ok &&
+						pkgNameOf(pass.TypesInfo, sel.X) == "fmt" && detfailFmt[sel.Sel.Name] {
+						pass.Reportf(call.Pos(), "ad-hoc panic(fmt.%s(...)) drifts in format between sites; "+
+							"use sim.Panicf for uniform, replayable invariant diagnostics", sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

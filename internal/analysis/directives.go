@@ -28,6 +28,16 @@ import (
 //	                                     cross-domain surface (the PDES
 //	                                     outbox/barrier code); shardsafe
 //	                                     skips its body.
+//	//nectar:free-hop <reason>         — mark a function whose path to a
+//	                                     fiber/VME transmit is genuinely
+//	                                     zero-cost (or charged elsewhere);
+//	                                     costmodel accepts the path. The
+//	                                     reason must say where the latency
+//	                                     is accounted.
+//	//nectar:diag-helper <reason>      — mark a function as a sanctioned
+//	                                     deterministic diagnostic helper
+//	                                     (sim.Panicf); detfail skips its
+//	                                     body.
 //
 // Directive hygiene is checked mechanically: an unknown verb (usually a
 // typo — "allow-waltime") or a waiver without a justification is itself
@@ -41,6 +51,8 @@ const (
 	DirHotpathExempt = "hotpath-exempt"
 	DirShardOwned    = "shard-owned"
 	DirShardBoundary = "shard-boundary"
+	DirFreeHop       = "free-hop"
+	DirDiagHelper    = "diag-helper"
 )
 
 // directive is one parsed //nectar: comment.
@@ -98,12 +110,20 @@ func checkDirectiveHygiene(pass *Pass, f *ast.File) {
 			if d.arg == "" {
 				pass.Reportf(d.pos, "//nectar:shard-boundary requires a reason (e.g. //nectar:shard-boundary window-barrier outbox drain)")
 			}
+		case DirFreeHop:
+			if d.arg == "" {
+				pass.Reportf(d.pos, "//nectar:free-hop requires a reason saying where the latency is accounted (e.g. //nectar:free-hop caller charges DatalinkProcess+DMASetup)")
+			}
+		case DirDiagHelper:
+			if d.arg == "" {
+				pass.Reportf(d.pos, "//nectar:diag-helper requires a reason (e.g. //nectar:diag-helper the one sanctioned deterministic panic surface)")
+			}
 		case DirHotpath, DirShardOwned:
 			// Placement is validated by the hotpath/hotprop/shardsafe
 			// analyzers respectively.
 		default:
-			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s, %s, %s, %s, and %s",
-				dirPrefix+d.verb, DirAllowWalltime, DirHotpath, DirHotpathExempt, DirShardOwned, DirShardBoundary)
+			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s, %s, %s, %s, %s, %s, and %s",
+				dirPrefix+d.verb, DirAllowWalltime, DirHotpath, DirHotpathExempt, DirShardOwned, DirShardBoundary, DirFreeHop, DirDiagHelper)
 		}
 	}
 }

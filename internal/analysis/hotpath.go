@@ -337,10 +337,25 @@ func exprProvidesCapacity(info *types.Info, e ast.Expr) bool {
 	return false
 }
 
-// isPanicCall reports whether call is the builtin panic.
+// isPanicCall reports whether call is the builtin panic or the
+// sanctioned formatted-panic helper sim.Panicf (detfail.go routes the
+// repo's formatted invariant panics through it; its arguments are just
+// as dead in steady state as a builtin panic's).
 func (hc *hotChecker) isPanicCall(call *ast.CallExpr) bool {
-	id, ok := call.Fun.(*ast.Ident)
-	return ok && id.Name == "panic" && hc.info.Types[call.Fun].IsBuiltin()
+	isPanicf := func(obj types.Object) bool {
+		fn, ok := obj.(*types.Func)
+		return ok && fn.Name() == "Panicf" && fn.Pkg() != nil && fn.Pkg().Path() == "nectar/internal/sim"
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" && hc.info.Types[call.Fun].IsBuiltin() {
+			return true
+		}
+		return isPanicf(hc.info.Uses[fun]) // bare Panicf(...) inside package sim
+	case *ast.SelectorExpr:
+		return isPanicf(hc.info.Uses[fun.Sel])
+	}
+	return false
 }
 
 // callSignature returns the signature of the called function, nil for

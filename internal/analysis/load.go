@@ -242,13 +242,19 @@ func RunAnalyzersWith(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Dia
 			return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings (analyzer, position) — the stable
+// reporting order both driver modes use.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		if diags[i].Analyzer != diags[j].Analyzer {
 			return diags[i].Analyzer < diags[j].Analyzer
 		}
 		return diags[i].Pos < diags[j].Pos
 	})
-	return diags, nil
 }
 
 // FormatDiagnostic renders d as file:line:col: analyzer: message.

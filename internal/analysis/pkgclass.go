@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Package classification: the single table deciding which determinism
+// contract each package in the module lives under. Every analyzer
+// consults it through IsDeterministicPkg/ClassOf; nothing else hard-codes
+// package lists, so adding an internal package means adding exactly one
+// row here — and TestEveryPackageClassified (pkgclass_test.go) fails the
+// build until it is added, which is how the table is kept from drifting
+// the way the old deterministicPrefixes list did when internal/prof
+// landed.
+
+// PkgClass is the determinism contract a package lives under.
+type PkgClass uint8
+
+const (
+	// ClassDeterministic packages execute inside (or feed) the simulation:
+	// virtual time only, seeded randomness, no raw goroutines, failures
+	// through the deterministic diagnostic surfaces. The determinism
+	// analyzers (walltime, detrange, seededrand, rawgo, unitsafe, obsgate,
+	// costmodel, detfail) all apply.
+	ClassDeterministic PkgClass = iota
+	// ClassDriver packages are CLIs, examples, and other host-side entry
+	// points: they may read the wall clock, print, and os.Exit freely.
+	ClassDriver
+	// ClassAnalysis packages are nectar-vet itself and its test harness:
+	// host-side tooling that measures its own wall clock (the CI perf
+	// gate) and never runs under a kernel.
+	ClassAnalysis
+)
+
+func (c PkgClass) String() string {
+	switch c {
+	case ClassDeterministic:
+		return "deterministic"
+	case ClassDriver:
+		return "driver"
+	case ClassAnalysis:
+		return "analysis"
+	}
+	return "unknown"
+}
+
+// pkgClassTable maps import-path prefixes (covering their subtrees) to
+// classes. Longest prefix wins, so a subtree can be carved out of its
+// parent's class. The module root entry ("nectar") is exact-match only —
+// it covers cluster.go, which builds simulations and is held to the
+// deterministic contract — so a brand-new internal/ package matches
+// nothing and TestEveryPackageClassified fails until a row is added.
+var pkgClassTable = []struct {
+	Prefix string
+	Class  PkgClass
+	Exact  bool // match the path itself, not its subtree
+}{
+	{Prefix: "nectar", Class: ClassDeterministic, Exact: true},
+	{Prefix: "nectar/cmd", Class: ClassDriver},
+	{Prefix: "nectar/examples", Class: ClassDriver},
+	{Prefix: "nectar/internal/analysis", Class: ClassAnalysis},
+	{Prefix: "nectar/internal/bench", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/fabric", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/hw", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/model", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/nectarine", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/netdev", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/obs", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/pool", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/prof", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/proto", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/rt", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/sim", Class: ClassDeterministic},
+	{Prefix: "nectar/internal/sockets", Class: ClassDeterministic},
+}
+
+// ClassOf returns the class of the package with the given import path
+// and whether the path is covered by the table at all. Test variants
+// ("pkg [pkg.test]") are canonicalized first. Paths outside the module
+// (the standard library, fixture packages under other/) are not covered.
+func ClassOf(path string) (PkgClass, bool) {
+	path = canonicalPkgPath(path)
+	best := -1
+	var cls PkgClass
+	for _, row := range pkgClassTable {
+		match := path == row.Prefix || (!row.Exact && strings.HasPrefix(path, row.Prefix+"/"))
+		if match && len(row.Prefix) > best {
+			best = len(row.Prefix)
+			cls = row.Class
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return cls, true
+}
+
+// IsDeterministicPkg reports whether the import path names a package
+// covered by the determinism contract. Fixture packages under testdata
+// reuse real module paths (e.g. nectar/internal/sim/wtpos) to opt into
+// the contract, which the prefix rules cover naturally.
+func IsDeterministicPkg(path string) bool {
+	cls, ok := ClassOf(path)
+	return ok && cls == ClassDeterministic
+}

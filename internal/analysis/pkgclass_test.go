@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nectar/internal/analysis"
+)
+
+// TestEveryPackageClassified walks the module's source tree and fails
+// for any package directory the classification table (pkgclass.go) does
+// not cover. This is the drift guard the old deterministicPrefixes list
+// lacked: landing a new internal/ package without deciding its
+// determinism contract now breaks `go test ./...` instead of silently
+// opting the package out of every analyzer.
+func TestEveryPackageClassified(t *testing.T) {
+	root := moduleRoot(t)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if !dirHasGoSource(t, path) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := "nectar"
+		if rel != "." {
+			importPath = "nectar/" + filepath.ToSlash(rel)
+		}
+		cls, ok := analysis.ClassOf(importPath)
+		if !ok {
+			t.Errorf("package %s is not covered by the classification table; add a row to pkgClassTable (pkgclass.go) declaring its determinism contract", importPath)
+			return nil
+		}
+		t.Logf("%-40s %s", importPath, cls)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dirHasGoSource reports whether dir directly contains a non-test .go
+// file (test-only directories have no determinism contract of their
+// own — their package variant inherits the base package's).
+func dirHasGoSource(t *testing.T, dir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClassOfRules pins the matching rules the analyzers rely on: prefix
+// rows cover subtrees, the module root is exact-match only, and unknown
+// paths (new packages, fixture trees) are reported unclassified.
+func TestClassOfRules(t *testing.T) {
+	cases := []struct {
+		path string
+		cls  analysis.PkgClass
+		ok   bool
+	}{
+		{"nectar", analysis.ClassDeterministic, true},
+		{"nectar/internal/sim", analysis.ClassDeterministic, true},
+		{"nectar/internal/hw/fiber", analysis.ClassDeterministic, true},
+		{"nectar/internal/fabric", analysis.ClassDeterministic, true},
+		{"nectar/internal/sim [nectar/internal/sim.test]", analysis.ClassDeterministic, true},
+		{"nectar/cmd/nectar-vet", analysis.ClassDriver, true},
+		{"nectar/examples/quickstart", analysis.ClassDriver, true},
+		{"nectar/internal/analysis", analysis.ClassAnalysis, true},
+		{"nectar/internal/analysis/analysistest", analysis.ClassAnalysis, true},
+		{"nectar/internal/brandnew", 0, false}, // root row is exact: no fallback
+		{"other/clock", 0, false},
+		{"fmt", 0, false},
+	}
+	for _, c := range cases {
+		cls, ok := analysis.ClassOf(c.path)
+		if ok != c.ok || (ok && cls != c.cls) {
+			t.Errorf("ClassOf(%q) = %v, %v; want %v, %v", c.path, cls, ok, c.cls, c.ok)
+		}
+	}
+	if analysis.IsDeterministicPkg("nectar/cmd/nectar-sim") {
+		t.Errorf("cmd packages must not be deterministic")
+	}
+	if !analysis.IsDeterministicPkg("nectar/internal/sim/wtpos") {
+		t.Errorf("fixture paths under a deterministic prefix must inherit the contract")
+	}
+}

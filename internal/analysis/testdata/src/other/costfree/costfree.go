@@ -1,0 +1,12 @@
+// Package costfree holds the same uncharged transmit as the cmpos
+// fixture but lives outside the deterministic package set: costmodel
+// must stay silent (tools and drivers may inject traffic freely).
+package costfree
+
+import (
+	"nectar/internal/hw/fiber"
+)
+
+func sendUncharged(l *fiber.Link, p *fiber.Packet) {
+	l.Send(p)
+}

@@ -1,0 +1,18 @@
+// Package tracearg holds the same unguarded-allocation offences as the
+// ogpos fixture but lives outside the deterministic package set:
+// obsgate must stay silent (tools may format trace output freely).
+package tracearg
+
+import (
+	"fmt"
+
+	"nectar/internal/obs"
+)
+
+func unguarded(o *obs.Observer, n int) {
+	o.InstantArg(0, obs.LayerFiber, "tx", fmt.Sprintf("seq=%d", n), 0, 0)
+}
+
+func metricAlloc(c *obs.Counter, n int) {
+	c.Add(uint64(len(fmt.Sprintf("%d", n))))
+}

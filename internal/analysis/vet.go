@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 )
 
 // Driver entry points for cmd/nectar-vet. Two modes:
@@ -71,6 +72,7 @@ func Main(args []string) int {
 	}
 	jsonOut := false
 	waivers := false
+	timing := false
 	rest := args[:0:0]
 	for _, a := range args {
 		switch a {
@@ -80,6 +82,8 @@ func Main(args []string) int {
 			jsonOut = false
 		case "-waivers", "--waivers":
 			waivers = true
+		case "-timing", "--timing":
+			timing = true
 		default:
 			rest = append(rest, a)
 		}
@@ -90,7 +94,7 @@ func Main(args []string) int {
 	if waivers {
 		return waiverInventory(rest)
 	}
-	return standalone(rest, jsonOut)
+	return standalone(rest, jsonOut, timing)
 }
 
 // Waiver is one escape-hatch directive in the inventory nectar-vet
@@ -111,6 +115,8 @@ var waiverDirectives = map[string]bool{
 	DirAllowWalltime: true,
 	DirHotpathExempt: true,
 	DirShardBoundary: true,
+	DirFreeHop:       true,
+	DirDiagHelper:    true,
 }
 
 // waiverInventory loads patterns (default ./...) and prints every waiver
@@ -161,8 +167,25 @@ func emit(fset *token.FileSet, d Diagnostic, jsonOut bool) {
 	}
 }
 
+// VetTiming is the wall-clock profile nectar-vet -timing emits as the
+// last stdout line: one JSON object CI stores in the findings artifact
+// and gates against the analysis-perf budget, so a quadratic blow-up in
+// the dataflow or call-graph layers fails the lint job instead of
+// silently stretching it.
+type VetTiming struct {
+	TotalMs     float64            `json:"total_ms"`     // load + analyze
+	LoadMs      float64            `json:"load_ms"`      // parse + typecheck
+	Packages    int                `json:"packages"`     // units analyzed
+	AnalyzersMs map[string]float64 `json:"analyzers_ms"` // per-analyzer, summed over packages
+}
+
 // standalone loads patterns (default ./...) and reports all findings.
-func standalone(patterns []string, jsonOut bool) int {
+// With timing, the wall-clock profile is printed as a final JSON line on
+// stdout. The first analyzer to need a lazily-built structure (the call
+// graph, the hot/cost fixpoints) pays its construction inside its own
+// bucket — coarse, but stable enough for a CI budget.
+func standalone(patterns []string, jsonOut, timing bool) int {
+	start := time.Now()
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
@@ -173,6 +196,8 @@ func standalone(patterns []string, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
 		return 1
 	}
+	loadDur := time.Since(start)
+	perAnalyzer := make(map[string]time.Duration)
 	prog := NewProgram(pkgs)
 	exit := 0
 	for _, pkg := range pkgs {
@@ -180,15 +205,40 @@ func standalone(patterns []string, jsonOut bool) int {
 			fmt.Fprintf(os.Stderr, "nectar-vet: typecheck %s: %v\n", pkg.PkgPath, te)
 			exit = 1
 		}
-		diags, err := RunAnalyzersWith(prog, pkg, All())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nectar-vet:", err)
-			return 1
+		var diags []Diagnostic
+		for _, a := range All() {
+			aStart := time.Now()
+			ds, err := RunAnalyzersWith(prog, pkg, []*Analyzer{a})
+			perAnalyzer[a.Name] += time.Since(aStart)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+				return 1
+			}
+			diags = append(diags, ds...)
 		}
+		sortDiagnostics(diags)
 		for _, d := range diags {
 			emit(pkg.Fset, d, jsonOut)
 			exit = 2
 		}
+	}
+	if timing {
+		t := VetTiming{
+			TotalMs:     float64(time.Since(start).Microseconds()) / 1e3,
+			LoadMs:      float64(loadDur.Microseconds()) / 1e3,
+			Packages:    len(pkgs),
+			AnalyzersMs: make(map[string]float64, len(perAnalyzer)),
+		}
+		for name, d := range perAnalyzer {
+			t.AnalyzersMs[name] = float64(d.Microseconds()) / 1e3
+		}
+		b, err := json.Marshal(struct {
+			Timing VetTiming `json:"timing"`
+		}{t})
+		if err != nil { // unreachable: VetTiming is numbers and strings
+			panic(err)
+		}
+		fmt.Println(string(b))
 	}
 	return exit
 }

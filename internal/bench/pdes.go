@@ -217,7 +217,7 @@ func runPdesFlows(cost *model.CostModel, shards, nodes, perFlow, msgBytes int, a
 			for s := 0; s < perFlow; s++ {
 				payload[0] = byte(s)
 				if st := src.Transports.RMP.SendBlocking(ctx, addr, 0, payload); st != 1 {
-					panic(fmt.Sprintf("pdes flow %d send %d failed: status %d", fi, s, st))
+					sim.Panicf("pdes flow %d send %d failed: status %d", fi, s, st)
 				}
 			}
 		})

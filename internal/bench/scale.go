@@ -200,7 +200,7 @@ func runScaleLeg(cost *model.CostModel, sp scaleSpec, flows [][2]int, shards int
 			for s := 0; s < sp.perFlow; s++ {
 				payload[0] = byte(s)
 				if st := src.Transports.RMP.SendBlocking(ctx, addr, 0, payload); st != 1 {
-					panic(fmt.Sprintf("scale flow %d send %d failed: status %d", fi, s, st))
+					sim.Panicf("scale flow %d send %d failed: status %d", fi, s, st)
 				}
 			}
 		})

@@ -18,7 +18,11 @@
 // route tables.
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+
+	"nectar/internal/sim"
+)
 
 // Trunk is one directed inter-HUB fiber: it leaves FromHub at output port
 // FromPort and terminates at ToHub's input port ToPort. Builders emit both
@@ -73,10 +77,10 @@ func LeafSpine(leaves, spines, perLeaf int) *Topology {
 		panic("fabric: LeafSpine dimensions must be positive")
 	}
 	if perLeaf+spines > 256 {
-		panic(fmt.Sprintf("fabric: leaf needs %d ports; route bytes allow 256", perLeaf+spines))
+		sim.Panicf("fabric: leaf needs %d ports; route bytes allow 256", perLeaf+spines)
 	}
 	if leaves > 256 {
-		panic(fmt.Sprintf("fabric: spine needs %d ports; route bytes allow 256", leaves))
+		sim.Panicf("fabric: spine needs %d ports; route bytes allow 256", leaves)
 	}
 	t := &Topology{
 		Name: fmt.Sprintf("leaf-spine %dx%d+%d", leaves, perLeaf, spines),
@@ -117,7 +121,7 @@ func FatTree(k int) *Topology {
 		panic("fabric: FatTree arity must be even and >= 2")
 	}
 	if k > 256 {
-		panic(fmt.Sprintf("fabric: fat-tree switches need %d ports; route bytes allow 256", k))
+		sim.Panicf("fabric: fat-tree switches need %d ports; route bytes allow 256", k)
 	}
 	half := k / 2
 	edges := k * half    // ids [0, edges)

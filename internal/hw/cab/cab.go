@@ -259,6 +259,8 @@ func (c *CAB) TxReadyAt() (sim.Time, bool) {
 // The payload spans are gathered by the DMA engine, so a transport can
 // transmit a header template from one buffer and user data from a mailbox
 // buffer without any CPU copy (paper §4.1's gather-style IP_Output).
+//
+//nectar:free-hop callers charge the datalink CPU costs (DatalinkProcess et al.) before invoking; wire serialization is charged inside Link.Send
 func (c *CAB) Transmit(dst wire.NodeID, hdr wire.DatalinkHeader, circuit bool, payload ...[]byte) error {
 	if c.out == nil {
 		return fmt.Errorf("cab%d: no fiber connected", c.node)

@@ -6,8 +6,6 @@
 package host
 
 import (
-	"fmt"
-
 	"nectar/internal/hw/cab"
 	"nectar/internal/hw/vme"
 	"nectar/internal/model"
@@ -69,10 +67,12 @@ func (h *Host) Run(name string, fn func(t *threads.Thread)) *threads.Thread {
 
 // ReadCAB copies n bytes from mapped CAB memory into host memory,
 // charging one VME PIO access per word.
+//
+//nectar:free-hop the per-word VME cost is charged inside Bus.PIO; this wrapper only sizes the access
 func (h *Host) ReadCAB(t *threads.Thread, src []byte, dst []byte) {
 	n := len(src)
 	if len(dst) < n {
-		panic(fmt.Sprintf("host %s: ReadCAB dst %d < src %d", h.name, len(dst), n))
+		sim.Panicf("host %s: ReadCAB dst %d < src %d", h.name, len(dst), n)
 	}
 	h.Bus.PIOBytes(t, n)
 	copy(dst, src[:n])
@@ -80,9 +80,11 @@ func (h *Host) ReadCAB(t *threads.Thread, src []byte, dst []byte) {
 
 // WriteCAB copies len(src) bytes from host memory into mapped CAB memory,
 // charging one VME PIO access per word.
+//
+//nectar:free-hop the per-word VME cost is charged inside Bus.PIO; this wrapper only sizes the access
 func (h *Host) WriteCAB(t *threads.Thread, dst []byte, src []byte) {
 	if len(dst) < len(src) {
-		panic(fmt.Sprintf("host %s: WriteCAB dst %d < src %d", h.name, len(dst), len(src)))
+		sim.Panicf("host %s: WriteCAB dst %d < src %d", h.name, len(dst), len(src))
 	}
 	h.Bus.PIOBytes(t, len(src))
 	copy(dst, src)
@@ -90,6 +92,8 @@ func (h *Host) WriteCAB(t *threads.Thread, dst []byte, src []byte) {
 
 // Touch charges the cost of words uncached accesses to mapped CAB memory
 // (shared data-structure manipulation from the host side).
+//
+//nectar:free-hop the per-word VME cost is charged inside Bus.PIO; Touch only counts the words
 func (h *Host) Touch(t *threads.Thread, words int) {
 	h.Bus.PIO(t, words)
 }

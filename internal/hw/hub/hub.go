@@ -69,7 +69,7 @@ func (h *Hub) Ports() int { return len(h.out) }
 // ConnectOut attaches the fiber leaving output port p.
 func (h *Hub) ConnectOut(p int, l *fiber.Link) {
 	if h.out[p] != nil {
-		panic(fmt.Sprintf("hub %s: output port %d already connected", h.name, p))
+		sim.Panicf("hub %s: output port %d already connected", h.name, p)
 	}
 	h.out[p] = l
 }
@@ -143,25 +143,21 @@ type inPort struct {
 func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 	h := ip.hub
 	if len(pkt.Route) == 0 {
-		ip.k.Fatalf("hub %s: packet with exhausted route arrived on input port %d (%s)",
-			h.name, ip.port, frameIDs(pkt.Frame))
+		ip.misroute(pkt, "packet arrived with exhausted route")
 		return
 	}
 	outPort := int(pkt.Route[0])
 	pkt.Route = pkt.Route[1:]
 	if outPort >= len(h.out) || h.out[outPort] == nil {
-		ip.k.Fatalf("hub %s: route names unconnected port %d (input port %d, %s, remaining route [% x])",
-			h.name, outPort, ip.port, frameIDs(pkt.Frame), pkt.Route)
+		ip.misroute(pkt, fmt.Sprintf("route names unconnected output port %d", outPort))
 		return
 	}
 	if h.circ[outPort] >= 0 && !pkt.Circuit {
-		ip.k.Fatalf("hub %s: packet-switched frame to port %d which is circuit-reserved (%s)",
-			h.name, outPort, frameIDs(pkt.Frame))
+		ip.misroute(pkt, fmt.Sprintf("packet-switched frame to output port %d which is circuit-reserved by input %d", outPort, h.circ[outPort]))
 		return
 	}
 	if pkt.Circuit && h.circ[outPort] != ip.port {
-		ip.k.Fatalf("hub %s: circuit frame on port %d but no circuit from input %d (%s)",
-			h.name, outPort, ip.port, frameIDs(pkt.Frame))
+		ip.misroute(pkt, fmt.Sprintf("circuit frame to output port %d but no circuit from input %d", outPort, ip.port))
 		return
 	}
 	delay := h.cost.HubSetup
@@ -181,6 +177,17 @@ func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 		return
 	}
 	ip.k.At(t, func() { out.SendAt(pkt, t) })
+}
+
+// misroute reports a forwarding failure through the owning kernel with
+// the one diagnostic shape every HUB misroute shares: hub name, cause,
+// input port, the frame's datalink src/dst IDs, and the unconsumed route
+// bytes. Sharded and sequential runs take identical forwarding decisions
+// at identical virtual instants, so the failure — like every other
+// deterministic diagnostic — reproduces byte-identically under replay.
+func (ip *inPort) misroute(pkt *fiber.Packet, cause string) {
+	ip.k.Fatalf("hub %s: %s (input port %d, %s, remaining route [% x])",
+		ip.hub.name, cause, ip.port, frameIDs(pkt.Frame), pkt.Route)
 }
 
 // frameIDs renders a frame's datalink source/destination node IDs for

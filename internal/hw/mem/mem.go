@@ -11,6 +11,7 @@ package mem
 
 import (
 	"fmt"
+	"nectar/internal/sim"
 	"sort"
 )
 
@@ -54,8 +55,8 @@ func (r *Region) Bytes() []byte { return r.bytes }
 // (re)slice by capacity arithmetic; callers must never append to it.
 func (r *Region) Slice(addr Addr, n int) []byte {
 	if int(addr)+n > len(r.bytes) {
-		panic(fmt.Sprintf("mem: bus error: [%d,%d) outside region %q (size %d)",
-			addr, int(addr)+n, r.name, len(r.bytes)))
+		sim.Panicf("mem: bus error: [%d,%d) outside region %q (size %d)",
+			addr, int(addr)+n, r.name, len(r.bytes))
 	}
 	return r.bytes[addr : int(addr)+n]
 }
@@ -73,11 +74,11 @@ func (r *Region) AddrOf(b []byte) Addr {
 	// cap from b's end to region end identifies the offset uniquely.
 	off := len(r.bytes) - cap(b)
 	if off < 0 || off+len(b) > len(r.bytes) {
-		panic(fmt.Sprintf("mem: AddrOf: slice not within region %q", r.name))
+		sim.Panicf("mem: AddrOf: slice not within region %q", r.name)
 	}
 	// Verify aliasing by identity of the first element.
 	if &r.bytes[off] != &b[0] {
-		panic(fmt.Sprintf("mem: AddrOf: slice does not alias region %q", r.name))
+		sim.Panicf("mem: AddrOf: slice does not alias region %q", r.name)
 	}
 	return Addr(off)
 }
@@ -128,7 +129,7 @@ func (p *Protection) Current() int { return p.current }
 // reload on the CAB).
 func (p *Protection) SetDomain(d int) {
 	if d < 0 || d >= len(p.domains) {
-		panic(fmt.Sprintf("mem: no such protection domain %d", d))
+		sim.Panicf("mem: no such protection domain %d", d)
 	}
 	p.current = d
 }
@@ -238,7 +239,7 @@ func (h *Heap) Alloc(n int) (buf []byte, addr Addr, ok bool) {
 func (h *Heap) Free(addr Addr) {
 	n, ok := h.inUse[addr]
 	if !ok {
-		panic(fmt.Sprintf("mem: free of unallocated addr %#x", addr))
+		sim.Panicf("mem: free of unallocated addr %#x", addr)
 	}
 	delete(h.inUse, addr)
 	h.used -= n

@@ -41,6 +41,8 @@ func (c Context) Compute(d sim.Duration) { c.T.Compute(d) }
 // Words charges access to n shared 32-bit words in CAB memory: a VME PIO
 // access per word from a host process, negligible (35 ns SRAM) from the
 // CAB itself.
+//
+//nectar:free-hop the per-word VME cost is charged inside Bus.PIO; Words only routes host-context accesses to the bus
 func (c Context) Words(n int) {
 	if c.Host != nil {
 		c.Host.Bus.PIO(c.T, n)

@@ -97,7 +97,7 @@ func (r *Runtime) Create(name string) *Mailbox {
 // Nectarine control task). It panics if the ID is taken.
 func (r *Runtime) CreateWithID(id wire.MailboxID, name string) *Mailbox {
 	if _, taken := r.boxes[id]; taken {
-		panic(fmt.Sprintf("mailbox: ID %d already in use", id))
+		sim.Panicf("mailbox: ID %d already in use", id)
 	}
 	return r.build(id, name)
 }
@@ -184,7 +184,7 @@ func (m *Msg) Len() int { return m.n }
 //nectar:hotpath
 func (m *Msg) TrimPrefix(ctx exec.Context, n int) {
 	if n < 0 || n > m.n {
-		panic(fmt.Sprintf("mailbox: TrimPrefix(%d) of %d-byte message", n, m.n))
+		sim.Panicf("mailbox: TrimPrefix(%d) of %d-byte message", n, m.n)
 	}
 	ctx.Compute(m.rt.cost.MailboxEnqueue / 2)
 	ctx.Words(2)
@@ -197,7 +197,7 @@ func (m *Msg) TrimPrefix(ctx exec.Context, n int) {
 //nectar:hotpath
 func (m *Msg) TrimSuffix(ctx exec.Context, n int) {
 	if n < 0 || n > m.n {
-		panic(fmt.Sprintf("mailbox: TrimSuffix(%d) of %d-byte message", n, m.n))
+		sim.Panicf("mailbox: TrimSuffix(%d) of %d-byte message", n, m.n)
 	}
 	ctx.Compute(m.rt.cost.MailboxEnqueue / 2)
 	ctx.Words(2)
@@ -283,7 +283,7 @@ func (mb *Mailbox) Stats() (puts, gets, enqueues uint64) {
 func (mb *Mailbox) hostConds() (*hostif.HostCond, *hostif.HostCond) {
 	if mb.hcNotEmpty == nil {
 		if mb.rt.iface == nil {
-			panic(fmt.Sprintf("mailbox %s: host operation with no host attached", mb.name))
+			sim.Panicf("mailbox %s: host operation with no host attached", mb.name)
 		}
 		mb.hcNotEmpty = mb.rt.iface.NewHostCond(mb.name + ".notEmpty")
 		mb.hcNotFull = mb.rt.iface.NewHostCond(mb.name + ".notFull")
@@ -520,7 +520,7 @@ func (mb *Mailbox) AbortPut(ctx exec.Context, m *Msg) {
 // obtained with Begin_Get; it must not be sitting in a queue.
 func (mb *Mailbox) Enqueue(ctx exec.Context, m *Msg, dst *Mailbox) {
 	if m.state == stateQueued {
-		panic(fmt.Sprintf("mailbox %s: Enqueue of a message still queued", mb.name))
+		sim.Panicf("mailbox %s: Enqueue of a message still queued", mb.name)
 	}
 	ctx.Compute(mb.rt.cost.MailboxEnqueue)
 	ctx.Words(3)

@@ -1,8 +1,6 @@
 package threads
 
 import (
-	"fmt"
-
 	"nectar/internal/sim"
 )
 
@@ -31,13 +29,13 @@ func (m *Mutex) Lock(t *Thread) {
 		return
 	}
 	if m.owner == t {
-		panic(fmt.Sprintf("threads: recursive Lock of %q by %q", m.name, t.name))
+		sim.Panicf("threads: recursive Lock of %q by %q", m.name, t.name)
 	}
 	m.waiters = append(m.waiters, t)
 	t.Block("mutex:" + m.name)
 	// Ownership was handed to us by Unlock before we were woken.
 	if m.owner != t {
-		panic(fmt.Sprintf("threads: woke from Lock of %q without ownership", m.name))
+		sim.Panicf("threads: woke from Lock of %q without ownership", m.name)
 	}
 }
 
@@ -54,7 +52,7 @@ func (m *Mutex) TryLock(t *Thread) bool {
 // Unlock releases the mutex, handing it to the longest-waiting thread.
 func (m *Mutex) Unlock(t *Thread) {
 	if m.owner != t {
-		panic(fmt.Sprintf("threads: Unlock of %q by non-owner %q", m.name, t.name))
+		sim.Panicf("threads: Unlock of %q by non-owner %q", m.name, t.name)
 	}
 	if len(m.waiters) == 0 {
 		m.owner = nil

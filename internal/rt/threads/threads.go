@@ -16,7 +16,6 @@ package threads
 
 import (
 	"container/heap"
-	"fmt"
 
 	"nectar/internal/model"
 	"nectar/internal/obs"
@@ -251,7 +250,7 @@ func (t *Thread) Block(reason string) {
 	s := t.sched
 	t.assertRunning("Block")
 	if t.intr {
-		panic(fmt.Sprintf("threads: interrupt handler %q attempted to block (%s)", t.name, reason))
+		sim.Panicf("threads: interrupt handler %q attempted to block (%s)", t.name, reason)
 	}
 	t.epoch++
 	t.state = stateBlocked
@@ -342,10 +341,10 @@ func (t *Thread) exit() {
 
 func (t *Thread) assertRunning(op string) {
 	if t.sched.running != t {
-		panic(fmt.Sprintf("threads: %s by %q which is not the running thread", op, t.name))
+		sim.Panicf("threads: %s by %q which is not the running thread", op, t.name)
 	}
 	if t.state != stateRunning {
-		panic(fmt.Sprintf("threads: %s by %q in state %d", op, t.name, t.state))
+		sim.Panicf("threads: %s by %q in state %d", op, t.name, t.state)
 	}
 }
 

@@ -1,0 +1,29 @@
+// Deterministic diagnostic helpers. Failure paths in simulation code
+// have exactly two sanctioned shapes — Kernel.Fatalf for configuration
+// and protocol misuse the run reports through Run's error, and Panicf
+// below for programming errors that must stop the process — so that two
+// replays of the same seed fail with byte-identical messages. The
+// detfail analyzer (internal/analysis) enforces this: os.Exit, package
+// log, and ad-hoc panic(fmt.Sprintf(...)) are vet errors in
+// deterministic packages.
+
+package sim
+
+import "fmt"
+
+// Panicf panics with a formatted message. It is the one sanctioned
+// formatted-panic surface for deterministic packages: invariant
+// violations that cannot be attributed to a kernel (memory-region bus
+// errors, thread-state corruption, topology construction bugs) funnel
+// through here, which keeps their messages uniform and gives grep a
+// single site for every formatted invariant panic.
+//
+// The message carries no wall-clock content — callers format only
+// simulation state — so a panic reproduces byte-identically under
+// replay.
+//
+//nectar:diag-helper the one sanctioned formatted-panic surface for invariant violations
+//nectar:hotpath-exempt invariant-violation path, dead in steady state (mirrors the builtin panic exemption)
+func Panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

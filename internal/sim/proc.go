@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"runtime/debug"
 )
 
@@ -65,7 +64,7 @@ func (p *Proc) dispatch() {
 // is the only context from which blocking operations are legal.
 func (p *Proc) checkContext(op string) {
 	if p.k.current != p {
-		panic(fmt.Sprintf("sim: %s on proc %q from outside its goroutine", op, p.name))
+		Panicf("sim: %s on proc %q from outside its goroutine", op, p.name)
 	}
 }
 
@@ -73,7 +72,7 @@ func (p *Proc) checkContext(op string) {
 // until the proc is dispatched again.
 func (p *Proc) yield(state string) {
 	if p.k.current != p {
-		panic(fmt.Sprintf("sim: blocking call on proc %q from outside its goroutine", p.name))
+		Panicf("sim: blocking call on proc %q from outside its goroutine", p.name)
 	}
 	p.state = state
 	p.k.current = nil

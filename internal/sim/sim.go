@@ -246,7 +246,7 @@ func (k *Kernel) Now() Time { return k.now }
 //nectar:hotpath
 func (k *Kernel) schedule(at Time, fn func()) int32 {
 	if at < k.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, k.now))
+		Panicf("sim: scheduling into the past: %v < now %v", at, k.now)
 	}
 	k.seq++
 	var slot int32
