@@ -8,7 +8,7 @@
 // go statement silently breaks reproducibility of Figures 6–8. These
 // analyzers turn the conventions into checked rules.
 //
-// The eleven analyzers are:
+// The twelve analyzers are:
 //
 //	walltime   — no wall-clock time (time.Now/Sleep/...) in deterministic
 //	             packages; //nectar:allow-walltime <reason> escapes
@@ -52,6 +52,16 @@
 //	             global log package, or ad-hoc panic(fmt.Sprintf(...));
 //	             //nectar:diag-helper <reason> marks the sanctioned
 //	             diagnostic surfaces.
+//	poollife   — pooled-object lifecycle proofs, via the backward
+//	             dataflow solver (backward.go): every value acquired from
+//	             a pool surface (FreeList.Get, fiber.Pool frames/packets,
+//	             cab receive descriptors, ip header/span buffers, sim
+//	             timers) must reach a release or an explicit ownership
+//	             transfer on every path; flags leaks, discarded acquires,
+//	             double-releases, and use-after-release.
+//	             //nectar:takes-ownership <param> <reason> moves the
+//	             obligation into a callee; //nectar:leak-ok <reason>
+//	             waives a deliberate sink.
 //
 // The types below mirror the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) so the analyzers read idiomatically and
@@ -163,8 +173,9 @@ func recvPkgPath(info *types.Info, sel *ast.SelectorExpr) (pkg, name string) {
 // All returns the full nectar-vet analyzer suite in reporting order: the
 // five intraprocedural analyzers from the original suite, the
 // interprocedural ones built on the call graph (hotprop, shardsafe,
-// costmodel), the unit-safety checker (unitsafe), and the dataflow-based
-// observability and failure-path checkers (obsgate, detfail).
+// costmodel), the unit-safety checker (unitsafe), the dataflow-based
+// observability and failure-path checkers (obsgate, detfail), and the
+// backward-dataflow lifecycle checker (poollife).
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, Detrange, Seededrand, Rawgo, Hotpath, Hotprop, Shardsafe, Unitsafe, Obsgate, Costmodel, Detfail}
+	return []*Analyzer{Walltime, Detrange, Seededrand, Rawgo, Hotpath, Hotprop, Shardsafe, Unitsafe, Obsgate, Costmodel, Detfail, Poollife}
 }

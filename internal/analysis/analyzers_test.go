@@ -79,6 +79,13 @@ func TestObsgate(t *testing.T) {
 	)
 }
 
+func TestPoollife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Poollife,
+		"nectar/internal/hw/pltest", // leaks, transfers, double-release, waivers, placement
+		"other/pooluse",             // non-deterministic package: silent
+	)
+}
+
 func TestUnitsafe(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.Unitsafe,
 		"nectar/internal/sim/uspos", // deterministic package: positives + sanctioned forms

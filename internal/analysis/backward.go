@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// The backward dual of dataflow.go's forward framework: facts propagate
+// exit-to-entry over the same CFGs. One instantiation per lattice —
+// poollife runs a must-settle analysis (intersection-join: a resource is
+// settled only if every path to an exit releases or transfers it); the
+// framework itself just runs the reverse worklist algorithm to a
+// fixpoint.
+//
+// Facts propagate block-exit to block-exit: solveBackward returns the
+// OUT fact of every block (the fact holding just after the block's last
+// node), and a client replays transfer across a block's nodes in
+// reverse to recover the fact at each statement. branch refines the
+// fact a block passes back to its predecessor along the predecessor's
+// true/false edge — the backward analogue of forward merge-edge
+// refinement: the predecessor's OUT is the join of its successors' IN
+// facts, each refined by the condition value that selects that edge.
+//
+// Exit blocks are the forward-reachable blocks with no successors:
+// blocks ending in return, panic, or falling off the function end. A
+// forward-reachable block with no path to any exit (a body trapped in
+// an infinite loop) is backward-unreached and keeps F's zero value —
+// clients should skip blocks solveBackward reports unreached, exactly
+// as with the forward solver.
+
+// backflow defines one backward dataflow problem over fact type F. F
+// must be treated as immutable by all three functions: transfer and
+// branch return fresh values (or the input unchanged), never mutate in
+// place — the solver aliases facts freely.
+type backflow[F any] struct {
+	// exit is the fact at every function exit (return/panic/fall-off).
+	exit F
+	// join merges facts where control-flow paths split (viewed
+	// backward, where they meet). Commutative, associative, monotone.
+	join func(F, F) F
+	// equal reports whether two facts are indistinguishable; the solver
+	// stops re-queuing a block when its OUT fact stops changing.
+	equal func(F, F) bool
+	// transfer applies the effect of one block node in reverse: given
+	// the fact holding after n, it returns the fact holding before n.
+	transfer func(n ast.Node, f F) F
+	// branch, when non-nil, refines the fact flowing backward into a
+	// two-way branch block ending in condition cond: takenTrue reports
+	// which edge the fact arrived on.
+	branch func(cond ast.Expr, takenTrue bool, f F) F
+}
+
+// solveBackward runs the reverse worklist algorithm and returns the OUT
+// fact of every block, indexed by Block.Index. Only blocks that are
+// forward-reachable from entry AND can reach an exit participate;
+// everything else keeps F's zero value with reached false.
+func solveBackward[F any](cfg *CFG, fl backflow[F]) (out []F, reached []bool) {
+	n := len(cfg.Blocks)
+	out = make([]F, n)
+	reached = make([]bool, n)
+
+	// Forward reachability restricts the backward pass to live code:
+	// dead blocks after a return must not feed facts into their
+	// textual predecessors.
+	fwd := make([]bool, n)
+	fwd[0] = true
+	stack := []int{0}
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, succ := range cfg.Blocks[bi].Succs {
+			if !fwd[succ.Index] {
+				fwd[succ.Index] = true
+				stack = append(stack, succ.Index)
+			}
+		}
+	}
+
+	// Predecessor edges, recording which successor slot the edge
+	// occupies so branch refinement knows true edge from false edge.
+	type predEdge struct {
+		block int // predecessor block index
+		slot  int // index into the predecessor's Succs
+	}
+	preds := make([][]predEdge, n)
+	for _, blk := range cfg.Blocks {
+		if !fwd[blk.Index] {
+			continue
+		}
+		for i, succ := range blk.Succs {
+			preds[succ.Index] = append(preds[succ.Index], predEdge{blk.Index, i})
+		}
+	}
+
+	// Seed: every live block with no successors exits the function.
+	var work []int
+	inWork := make([]bool, n)
+	for _, blk := range cfg.Blocks {
+		if fwd[blk.Index] && len(blk.Succs) == 0 {
+			out[blk.Index] = fl.exit
+			reached[blk.Index] = true
+			work = append(work, blk.Index)
+			inWork[blk.Index] = true
+		}
+	}
+
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		blk := cfg.Blocks[bi]
+		// Replay the block in reverse: OUT through the nodes back to
+		// the block's IN fact.
+		f := out[bi]
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			f = fl.transfer(blk.Nodes[i], f)
+		}
+		for _, pe := range preds[bi] {
+			pblk := cfg.Blocks[pe.block]
+			pf := f
+			if pblk.Cond != nil && len(pblk.Succs) == 2 && fl.branch != nil {
+				pf = fl.branch(pblk.Cond, pe.slot == 0, f)
+			}
+			pi := pe.block
+			if !reached[pi] {
+				out[pi] = pf
+				reached[pi] = true
+			} else {
+				merged := fl.join(out[pi], pf)
+				if fl.equal(merged, out[pi]) {
+					continue
+				}
+				out[pi] = merged
+			}
+			if !inWork[pi] {
+				inWork[pi] = true
+				work = append(work, pi)
+			}
+		}
+	}
+	return out, reached
+}

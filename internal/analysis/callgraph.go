@@ -99,6 +99,12 @@ type FuncNode struct {
 	// forwarding steps whose latency is accounted elsewhere; costmodel
 	// accepts uncharged paths through them.
 	FreeHop bool
+	// Takes lists the parameter (or receiver) names this function
+	// assumes the release obligation for, one per
+	// //nectar:takes-ownership <param> <reason> directive; poollife ends
+	// the caller's obligation for arguments passed at these positions
+	// and seeds the obligation inside the callee.
+	Takes []string
 
 	display string
 }
@@ -222,6 +228,10 @@ func (prog *Program) ensureGraph() {
 						n.Boundary = true
 					case d.verb == DirFreeHop && d.arg != "":
 						n.FreeHop = true
+					case d.verb == DirTakesOwner:
+						if fields := strings.Fields(d.arg); len(fields) >= 2 {
+							n.Takes = append(n.Takes, fields[0])
+						}
 					}
 				}
 				prog.fns[n.ID] = n

@@ -38,6 +38,19 @@ import (
 //	                                     deterministic diagnostic helper
 //	                                     (sim.Panicf); detfail skips its
 //	                                     body.
+//	//nectar:takes-ownership <param> <reason>
+//	                                   — declare that a function assumes
+//	                                     the release obligation for the
+//	                                     named pooled-value parameter (or
+//	                                     receiver); poollife ends the
+//	                                     caller's obligation at the call
+//	                                     and checks the callee releases or
+//	                                     forwards it on every path.
+//	//nectar:leak-ok <reason>          — waive a poollife leak finding for
+//	                                     a deliberate sink (same placement
+//	                                     rules as allow-walltime: own line,
+//	                                     next line, or whole function via
+//	                                     the doc comment).
 //
 // Directive hygiene is checked mechanically: an unknown verb (usually a
 // typo — "allow-waltime") or a waiver without a justification is itself
@@ -53,6 +66,8 @@ const (
 	DirShardBoundary = "shard-boundary"
 	DirFreeHop       = "free-hop"
 	DirDiagHelper    = "diag-helper"
+	DirTakesOwner    = "takes-ownership"
+	DirLeakOK        = "leak-ok"
 )
 
 // directive is one parsed //nectar: comment.
@@ -118,12 +133,20 @@ func checkDirectiveHygiene(pass *Pass, f *ast.File) {
 			if d.arg == "" {
 				pass.Reportf(d.pos, "//nectar:diag-helper requires a reason (e.g. //nectar:diag-helper the one sanctioned deterministic panic surface)")
 			}
+		case DirTakesOwner:
+			if fields := strings.Fields(d.arg); len(fields) < 2 {
+				pass.Reportf(d.pos, "//nectar:takes-ownership requires a parameter name and a reason (e.g. //nectar:takes-ownership pkt released on every drop path or handed to DMA)")
+			}
+		case DirLeakOK:
+			if d.arg == "" {
+				pass.Reportf(d.pos, "//nectar:leak-ok requires a reason (e.g. //nectar:leak-ok the popped slot is returned through the Peek alias)")
+			}
 		case DirHotpath, DirShardOwned:
 			// Placement is validated by the hotpath/hotprop/shardsafe
 			// analyzers respectively.
 		default:
-			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s, %s, %s, %s, %s, %s, and %s",
-				dirPrefix+d.verb, DirAllowWalltime, DirHotpath, DirHotpathExempt, DirShardOwned, DirShardBoundary, DirFreeHop, DirDiagHelper)
+			pass.Reportf(d.pos, "unknown directive %q: known //nectar: directives are %s, %s, %s, %s, %s, %s, %s, %s, and %s",
+				dirPrefix+d.verb, DirAllowWalltime, DirHotpath, DirHotpathExempt, DirShardOwned, DirShardBoundary, DirFreeHop, DirDiagHelper, DirTakesOwner, DirLeakOK)
 		}
 	}
 }

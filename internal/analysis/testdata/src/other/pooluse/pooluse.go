@@ -1,0 +1,28 @@
+// Package pooluse reproduces pltest's leaky shapes in a package outside
+// the deterministic set: poollife must stay silent here, including on
+// the misplaced directive.
+package pooluse
+
+import "nectar/internal/hw/fiber"
+
+func LeakOnErrorPath(p *fiber.Pool, bad bool) {
+	pkt := p.GetPacket()
+	if bad {
+		return
+	}
+	pkt.Release()
+}
+
+func DoubleRelease(p *fiber.Pool) {
+	pkt := p.GetPacket()
+	pkt.Release()
+	pkt.Release()
+}
+
+func MisplacedDirective(p *fiber.Pool) {
+	//nectar:takes-ownership pkt silent outside the deterministic set
+	pkt := p.GetPacket()
+	work(pkt)
+}
+
+func work(pkt *fiber.Packet) {}

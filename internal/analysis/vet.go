@@ -117,6 +117,8 @@ var waiverDirectives = map[string]bool{
 	DirShardBoundary: true,
 	DirFreeHop:       true,
 	DirDiagHelper:    true,
+	DirTakesOwner:    true,
+	DirLeakOK:        true,
 }
 
 // waiverInventory loads patterns (default ./...) and prints every waiver

@@ -349,10 +349,13 @@ func (c *CAB) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 // The DMA controller handles low-level flow control itself: it waits for
 // data to arrive if the input FIFO is empty (paper §2.2), which is why
 // completion is simply max(now, End).
+//
+//nectar:takes-ownership d retired at DMA completion, or dropped when the buffer is undersized
 func (c *CAB) StartRxDMA(d *RxDesc, dst []byte, done func(ok bool)) {
 	payload := d.Payload()
 	if len(dst) < len(payload) {
 		c.k.Fatalf("cab%d: rx DMA buffer %d < payload %d", c.node, len(dst), len(payload))
+		d.Release() // the DMA never starts: drop the frame instead of stranding the descriptor
 		return
 	}
 	doneAt := d.End

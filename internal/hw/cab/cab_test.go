@@ -178,3 +178,23 @@ func TestStartOfPacketTimingCoversHeader(t *testing.T) {
 		t.Errorf("start-of-packet handler at %v, before header arrival %v", sopAt, want)
 	}
 }
+
+func TestRxDMAUndersizedBufferReleasesDesc(t *testing.T) {
+	// Regression: the undersized-buffer bail-out in StartRxDMA reported
+	// through Fatalf — which records the failure and returns — and then
+	// dropped the descriptor on the floor, stranding it (and its frame)
+	// instead of returning it to the CAB's free list.
+	k := sim.NewKernel()
+	c := New(k, model.Default1990(), 1)
+	d := c.getDesc()
+	d.Frame = make([]byte, wire.DatalinkHeaderLen+8+wire.CRCLen) // 8-byte payload
+	c.StartRxDMA(d, make([]byte, 4), func(ok bool) {
+		t.Error("done callback ran for an undersized buffer")
+	})
+	if n := c.descFree.Len(); n != 1 {
+		t.Errorf("descFree.Len() = %d, want 1: the bail-out path must release the descriptor", n)
+	}
+	if err := k.Run(); err == nil {
+		t.Error("Run returned nil, want the recorded undersized-buffer failure")
+	}
+}

@@ -123,11 +123,15 @@ func (l *Link) Name() string { return l.name }
 
 // Send begins transmitting pkt at the current instant, or as soon as the
 // fiber is free. Callable from kernel or proc context.
+//
+//nectar:takes-ownership pkt forwarded to SendAt, which assumes the frame
 func (l *Link) Send(pkt *Packet) { l.SendAt(pkt, l.k.Now()) }
 
 // SendAt begins transmitting pkt no earlier than t (used by HUB cut-through
 // forwarding, where the first byte only becomes available after the setup
 // delay).
+//
+//nectar:takes-ownership pkt released on the drop path, otherwise handed to the receiving endpoint
 func (l *Link) SendAt(pkt *Packet, t sim.Time) {
 	if l.gwGuard != nil {
 		l.gwGuard(pkt)

@@ -38,7 +38,7 @@ type Pool struct {
 func (p *Pool) GetFrame(n int) []byte {
 	if p != nil {
 		if f, ok := p.frames.Peek(); ok && cap(f) >= n {
-			p.frames.Get()
+			p.frames.Get() //nectar:leak-ok the popped slot is f, already in hand from the preceding Peek
 			p.frameHits++
 			return f[:n]
 		}

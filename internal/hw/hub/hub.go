@@ -140,6 +140,8 @@ type inPort struct {
 // uniformly in both modes keeps per-link processing order, capture
 // timestamps, and trace instants identical between sequential and sharded
 // runs.
+//
+//nectar:takes-ownership pkt forwarded on an output link or consumed by misroute
 func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 	h := ip.hub
 	if len(pkt.Route) == 0 {
@@ -185,9 +187,12 @@ func (ip *inPort) PacketArriving(pkt *fiber.Packet, end sim.Time) {
 // bytes. Sharded and sequential runs take identical forwarding decisions
 // at identical virtual instants, so the failure — like every other
 // deterministic diagnostic — reproduces byte-identically under replay.
+//
+//nectar:takes-ownership pkt the frame dies with the diagnostic
 func (ip *inPort) misroute(pkt *fiber.Packet, cause string) {
 	ip.k.Fatalf("hub %s: %s (input port %d, %s, remaining route [% x])",
 		ip.hub.name, cause, ip.port, frameIDs(pkt.Frame), pkt.Route)
+	pkt.Release() // unroutable: the frame is dead once the diagnostic is rendered
 }
 
 // frameIDs renders a frame's datalink source/destination node IDs for

@@ -282,3 +282,25 @@ func TestPacketIntoReservedPortFails(t *testing.T) {
 		t.Error("packet-switched frame into reserved port did not fail")
 	}
 }
+
+func TestMisrouteReleasesPacket(t *testing.T) {
+	// Regression: misroute reported through Fatalf — which records the
+	// failure and returns — and then leaked the packet instead of
+	// returning it to its pool.
+	k := sim.NewKernel()
+	h := New(k, model.Default1990(), "hub", 2)
+	var p fiber.Pool
+	pkt := p.GetPacket()
+	pkt.Frame = frame(16)
+	pkt.Route = nil // exhausted route: every arrival is a misroute
+	h.InPort(0).PacketArriving(pkt, 0)
+	if pkt.Frame != nil {
+		t.Error("misroute kept the frame attached; packet was not released")
+	}
+	if again := p.GetPacket(); again != pkt {
+		t.Error("packet was not returned to its pool by misroute")
+	}
+	if err := k.Run(); err == nil {
+		t.Error("Run returned nil, want the recorded misroute failure")
+	}
+}

@@ -16,14 +16,38 @@ package pool
 // single-threaded by construction (one kernel = one running goroutine).
 type FreeList[T any] struct {
 	items []T
+
+	// check, when non-nil, is the debug double-Put guard installed by
+	// SetCheck: Put scans the pooled slots with it and panics when v is
+	// already pooled. nil (the default) keeps Put O(1).
+	check func(a, b T) bool
 }
+
+// SetCheck installs eq as a debug guard against double-Put: every
+// subsequent Put scans the pooled slots with eq and panics if v is
+// already in the list. A double Put is the mirror image of a leak —
+// the same value gets handed to two later Gets, and the two owners
+// silently corrupt each other's buffer — and it manifests far from the
+// offending release. The scan is O(n) per Put, so the guard is for
+// tests and debug builds; production paths leave it unset. Pass nil to
+// remove the guard.
+func (f *FreeList[T]) SetCheck(eq func(a, b T) bool) { f.check = eq }
 
 // Put pushes v onto the list. The append is to a struct field, so its
 // growth is amortized across the pool's lifetime (the backing array is
 // reused once warmed up).
 //
 //nectar:hotpath
-func (f *FreeList[T]) Put(v T) { f.items = append(f.items, v) }
+func (f *FreeList[T]) Put(v T) {
+	if f.check != nil {
+		for _, old := range f.items {
+			if f.check(old, v) {
+				panic("pool: double Put of a pooled value")
+			}
+		}
+	}
+	f.items = append(f.items, v)
+}
 
 // Get pops the most recently Put value. The vacated slot is zeroed so
 // the list does not keep the value reachable. ok is false when empty.

@@ -62,3 +62,27 @@ func TestSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state Get/Put allocates %.1f times per cycle, want 0", allocs)
 	}
 }
+
+// TestDoublePutGuard checks the SetCheck debug guard: a Put of a value
+// already in the list panics, a Put of a distinct value does not, and
+// clearing the guard restores unchecked behavior.
+func TestDoublePutGuard(t *testing.T) {
+	var f FreeList[*int]
+	f.SetCheck(func(a, b *int) bool { return a == b })
+	x, y := new(int), new(int)
+	f.Put(x)
+	f.Put(y) // distinct value: fine
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Put with guard installed did not panic")
+			}
+		}()
+		f.Put(x)
+	}()
+	f.SetCheck(nil)
+	f.Put(x) // guard removed: unchecked again
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+}

@@ -150,6 +150,8 @@ func (l *Layer) rxThread(t *threads.Thread) {
 
 // receive processes one arriving frame: header parse, buffer reservation,
 // start-of-data upcall, DMA, end-of-data upcall.
+//
+//nectar:takes-ownership d released on every drop path, otherwise retired by the receive DMA
 func (l *Layer) receive(t *threads.Thread, d *cab.RxDesc) {
 	ctx := exec.OnCAB(t)
 	l.cab.Kernel().Mark(l.markRx)

@@ -234,6 +234,9 @@ func (l *Layer) getHdr() []byte {
 	return make([]byte, wire.IPv4HeaderLen)
 }
 
+// putHdr returns a header marshal buffer to the free list.
+//
+//nectar:takes-ownership h pooled immediately
 func (l *Layer) putHdr(h []byte) { l.hdrFree.Put(h) }
 
 // getSpans returns an empty gather-span slice from the free list.
@@ -244,6 +247,10 @@ func (l *Layer) getSpans() [][]byte {
 	return make([][]byte, 0, 4)
 }
 
+// putSpans returns a gather-span slice to the free list, dropping payload
+// references first so pooled spans do not pin dead buffers.
+//
+//nectar:takes-ownership s pooled after clearing its payload references
 func (l *Layer) putSpans(s [][]byte) {
 	for i := range s {
 		s[i] = nil // drop payload references while pooled
